@@ -1,0 +1,296 @@
+package assign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// Controller is the task assignment controller of Figure 2: it receives the
+// requester's desired human factors from the project admin page, the worker
+// human factors and affinity matrix from the worker manager, and — once enough
+// workers have shown interest in a task — chooses a team of workers that
+// satisfies the desired human factors out of the workers who are eligible and
+// interested (§2.2.1 step 5). It also re-executes assignment when the
+// suggested team does not fully undertake the task by the deadline.
+type Controller struct {
+	workers *worker.Manager
+	pool    *task.Pool
+
+	mu          sync.RWMutex
+	algorithm   Algorithm
+	suggestions map[task.ID]Team
+	// suggestedAt records when a team was suggested, used for deadline checks.
+	suggestedAt map[task.ID]time.Time
+	// rejected tracks (task, member-set signature) combinations that failed to
+	// form so that re-execution proposes a different team.
+	rejected map[task.ID]map[string]bool
+	nowFn    func() time.Time
+	// events records assignment decisions for dashboards and tests.
+	events []Event
+}
+
+// Event is one assignment decision, kept for observability.
+type Event struct {
+	At      time.Time
+	TaskID  task.ID
+	Kind    string // "suggested", "undertaken", "reassigned", "infeasible", "expired"
+	Team    []worker.ID
+	Message string
+}
+
+// NewController wires the controller to the worker manager and task pool.
+func NewController(w *worker.Manager, p *task.Pool) *Controller {
+	return &Controller{
+		workers:     w,
+		pool:        p,
+		algorithm:   AffinityGreedy{},
+		suggestions: make(map[task.ID]Team),
+		suggestedAt: make(map[task.ID]time.Time),
+		rejected:    make(map[task.ID]map[string]bool),
+		nowFn:       time.Now,
+	}
+}
+
+// SetAlgorithm selects the team-formation algorithm (default AffinityGreedy).
+func (c *Controller) SetAlgorithm(a Algorithm) {
+	if a == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.algorithm = a
+}
+
+// Algorithm returns the current team-formation algorithm.
+func (c *Controller) Algorithm() Algorithm {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.algorithm
+}
+
+// SetClock overrides the time source for tests.
+func (c *Controller) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nowFn = now
+}
+
+// Events returns a copy of the recorded assignment events.
+func (c *Controller) Events() []Event {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Event(nil), c.events...)
+}
+
+func (c *Controller) record(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.At = c.nowFn()
+	c.events = append(c.events, e)
+}
+
+// Suggestion returns the currently suggested team for the task, if any.
+func (c *Controller) Suggestion(id task.ID) (Team, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.suggestions[id]
+	return t, ok
+}
+
+// BuildProblem assembles the team-formation problem for a task from the
+// worker manager: the candidate pool is exactly the workers who are Eligible
+// for and InterestedIn the task, with their skill in the task's required
+// skill and their wage as cost.
+func (c *Controller) BuildProblem(t *task.Task) Problem {
+	candidates := c.workers.Candidates(string(t.ID))
+	cands := make([]Candidate, 0, len(candidates))
+	for _, id := range candidates {
+		w, ok := c.workers.Get(id)
+		if !ok {
+			continue
+		}
+		cands = append(cands, Candidate{
+			ID:    id,
+			Skill: w.Factors.Skill(t.Constraints.RequiredSkill),
+			Cost:  w.Factors.WagePerTask,
+		})
+	}
+	return Problem{Task: t, Candidates: cands, Affinity: c.workers.Affinity()}
+}
+
+// TryAssign attempts to suggest a team for the task. It returns
+// (team, true, nil) when a team was suggested, (Team{}, false, nil) when the
+// controller is still waiting for enough interested workers, and
+// (Team{}, false, ErrInfeasible) when no team satisfying the constraints
+// exists among the current candidates — in which case the platform should
+// suggest that the requester relax the constraints (§2.2.1).
+func (c *Controller) TryAssign(t *task.Task) (Team, bool, error) {
+	if t.State() != task.StateOpen {
+		return Team{}, false, fmt.Errorf("assign: task %s is %s, not open", t.ID, t.State())
+	}
+	p := c.BuildProblem(t)
+	if len(p.Candidates) < t.Constraints.InterestThreshold {
+		return Team{}, false, nil
+	}
+	c.mu.RLock()
+	algo := c.algorithm
+	rejectedSets := c.rejected[t.ID]
+	c.mu.RUnlock()
+
+	team, err := algo.FormTeam(p)
+	if err == nil && rejectedSets[teamSignature(team.Members)] {
+		// The best team already refused; retry excluding its members one at a
+		// time to propose a genuinely new team.
+		team, err = c.formExcludingRejected(p, algo, rejectedSets)
+	}
+	if err != nil {
+		c.record(Event{TaskID: t.ID, Kind: "infeasible", Message: err.Error()})
+		return Team{}, false, ErrInfeasible
+	}
+
+	c.mu.Lock()
+	c.suggestions[t.ID] = team
+	c.suggestedAt[t.ID] = c.nowFn()
+	c.mu.Unlock()
+	if err := t.SetState(task.StateAssigned); err != nil {
+		return Team{}, false, err
+	}
+	c.record(Event{TaskID: t.ID, Kind: "suggested", Team: team.Members})
+	return team, true, nil
+}
+
+func (c *Controller) formExcludingRejected(p Problem, algo Algorithm, rejected map[string]bool) (Team, error) {
+	// Remove one rejected member combination at a time by excluding each
+	// member of the last rejected set and re-running; fall back to the best
+	// team that differs from every rejected signature.
+	base, err := algo.FormTeam(p)
+	if err != nil {
+		return Team{}, err
+	}
+	if !rejected[teamSignature(base.Members)] {
+		return base, nil
+	}
+	var best Team
+	found := false
+	for _, excluded := range base.Members {
+		reduced := Problem{Task: p.Task, Affinity: p.Affinity}
+		for _, cand := range p.Candidates {
+			if cand.ID != excluded {
+				reduced.Candidates = append(reduced.Candidates, cand)
+			}
+		}
+		t, err := algo.FormTeam(reduced)
+		if err != nil || rejected[teamSignature(t.Members)] {
+			continue
+		}
+		if !found || better(t, best) {
+			best, found = t, true
+		}
+	}
+	if !found {
+		return Team{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+func teamSignature(members []worker.ID) string {
+	ms := append([]worker.ID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return fmt.Sprint(ms)
+}
+
+// ConfirmUndertake records that a suggested member undertakes the task. When
+// every suggested member has undertaken it, the task moves to in-progress and
+// the method returns true.
+func (c *Controller) ConfirmUndertake(t *task.Task, id worker.ID) (allIn bool, err error) {
+	c.mu.RLock()
+	team, ok := c.suggestions[t.ID]
+	c.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("assign: no suggested team for task %s", t.ID)
+	}
+	if !team.Contains(id) {
+		return false, fmt.Errorf("assign: worker %s is not on the suggested team for task %s", id, t.ID)
+	}
+	if err := c.workers.SetRelationship(worker.Undertakes, string(t.ID), id); err != nil {
+		return false, err
+	}
+	for _, m := range team.Members {
+		if !c.workers.HasRelationship(worker.Undertakes, string(t.ID), m) {
+			return false, nil
+		}
+	}
+	if err := t.SetState(task.StateInProgress); err != nil {
+		return false, err
+	}
+	c.record(Event{TaskID: t.ID, Kind: "undertaken", Team: team.Members})
+	return true, nil
+}
+
+// Reassign handles the deadline rule of §2.2.1: "Unless all suggested workers
+// start to perform the collaborative task by the specified deadline, task
+// assignment is re-executed to find a new team." It clears the stale
+// suggestion, remembers the failed team so it will not be re-proposed, resets
+// the task to open, and immediately attempts a new assignment.
+func (c *Controller) Reassign(t *task.Task) (Team, bool, error) {
+	c.mu.Lock()
+	old, had := c.suggestions[t.ID]
+	delete(c.suggestions, t.ID)
+	delete(c.suggestedAt, t.ID)
+	if had {
+		if c.rejected[t.ID] == nil {
+			c.rejected[t.ID] = make(map[string]bool)
+		}
+		c.rejected[t.ID][teamSignature(old.Members)] = true
+	}
+	c.mu.Unlock()
+
+	if had {
+		// Partially-undertaken states are rolled back.
+		for _, m := range old.Members {
+			c.workers.ClearRelationship(worker.Undertakes, string(t.ID), m)
+		}
+		c.record(Event{TaskID: t.ID, Kind: "reassigned", Team: old.Members})
+	}
+	if t.State() == task.StateAssigned || t.State() == task.StateExpired {
+		if err := t.SetState(task.StateOpen); err != nil {
+			return Team{}, false, err
+		}
+	}
+	return c.TryAssign(t)
+}
+
+// SweepDeadlines finds assigned tasks whose recruitment deadline has passed
+// without a full team and re-executes assignment for each. It returns the ids
+// of the tasks that were re-assigned (successfully or not).
+func (c *Controller) SweepDeadlines(now time.Time) []task.ID {
+	var swept []task.ID
+	for _, t := range c.pool.InState(task.StateAssigned) {
+		if !t.Expired(now) {
+			continue
+		}
+		c.record(Event{TaskID: t.ID, Kind: "expired"})
+		swept = append(swept, t.ID)
+		c.Reassign(t) //nolint:errcheck // failure to find a new team is recorded as an event
+	}
+	return swept
+}
+
+// AssignBatch runs TryAssign over every open task in the pool (sorted by id),
+// returning the teams formed. It is the multi-task entry point the experiments
+// use to measure scalability (E4).
+func (c *Controller) AssignBatch() map[task.ID]Team {
+	out := make(map[task.ID]Team)
+	for _, t := range c.pool.InState(task.StateOpen) {
+		team, ok, err := c.TryAssign(t)
+		if err == nil && ok {
+			out[t.ID] = team
+		}
+	}
+	return out
+}

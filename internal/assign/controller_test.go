@@ -1,0 +1,275 @@
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// newEnv builds a worker manager with n workers (all eligible and interested
+// in the given task), a pool containing the task, and a controller.
+func newEnv(t *testing.T, n int, tk *task.Task) (*worker.Manager, *task.Pool, *Controller) {
+	t.Helper()
+	wm := worker.NewManager()
+	for i := 0; i < n; i++ {
+		id := worker.ID(fmt.Sprintf("w%02d", i))
+		wm.Register(&worker.Worker{
+			ID:   id,
+			Name: fmt.Sprintf("worker %d", i),
+			Factors: worker.HumanFactors{
+				Skills:      map[string]float64{"translation": 0.5 + 0.5*float64(i)/float64(n)},
+				WagePerTask: 1,
+			},
+			LoggedIn: true,
+		})
+	}
+	ids := wm.IDs()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			wm.Affinity().Set(ids[i], ids[j], 0.3+0.5*float64((i*7+j*3)%10)/10)
+		}
+	}
+	pool := task.NewPool()
+	if tk != nil {
+		pool.Register(tk)
+		for _, id := range ids {
+			wm.SetRelationship(worker.Eligible, string(tk.ID), id)
+			wm.SetRelationship(worker.InterestedIn, string(tk.ID), id)
+		}
+	}
+	ctrl := NewController(wm, pool)
+	return wm, pool, ctrl
+}
+
+func newTranslationTask(c task.Constraints) *task.Task {
+	c.RequiredSkill = "translation"
+	return task.NewTask("t1", "p1", "translate", task.Sequential, c)
+}
+
+func TestControllerTryAssignSuggestsTeam(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 3, MinTeamSize: 2})
+	_, _, ctrl := newEnv(t, 8, tk)
+	team, ok, err := ctrl.TryAssign(tk)
+	if err != nil || !ok {
+		t.Fatalf("TryAssign = %v,%v,%v", team, ok, err)
+	}
+	if tk.State() != task.StateAssigned {
+		t.Errorf("task state = %v", tk.State())
+	}
+	if got, found := ctrl.Suggestion(tk.ID); !found || got.Size() != team.Size() {
+		t.Error("Suggestion should return the suggested team")
+	}
+	events := ctrl.Events()
+	if len(events) != 1 || events[0].Kind != "suggested" {
+		t.Errorf("events = %v", events)
+	}
+	// Assigning a non-open task fails.
+	if _, _, err := ctrl.TryAssign(tk); err == nil {
+		t.Error("TryAssign on an assigned task should fail")
+	}
+}
+
+func TestControllerWaitsForInterestThreshold(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 3, MinTeamSize: 2, InterestThreshold: 5})
+	wm, _, ctrl := newEnv(t, 8, tk)
+	// Remove interest from most workers so only 3 remain interested.
+	ids := wm.IDs()
+	for _, id := range ids[3:] {
+		wm.ClearRelationship(worker.InterestedIn, string(tk.ID), id)
+	}
+	_, ok, err := ctrl.TryAssign(tk)
+	if err != nil || ok {
+		t.Fatalf("controller should wait for 5 interested workers: ok=%v err=%v", ok, err)
+	}
+	if tk.State() != task.StateOpen {
+		t.Errorf("task should remain open, got %v", tk.State())
+	}
+	// Interest arrives; assignment proceeds.
+	for _, id := range ids[3:5] {
+		wm.SetRelationship(worker.InterestedIn, string(tk.ID), id)
+	}
+	if _, ok, err := ctrl.TryAssign(tk); err != nil || !ok {
+		t.Fatalf("assignment should proceed once threshold met: %v %v", ok, err)
+	}
+}
+
+func TestControllerInfeasibleConstraints(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 3, MinTeamSize: 2, MinSkill: 0.99, MinTeamSkill: 5})
+	_, _, ctrl := newEnv(t, 6, tk)
+	_, ok, err := ctrl.TryAssign(tk)
+	if ok || !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want infeasible, got ok=%v err=%v", ok, err)
+	}
+	events := ctrl.Events()
+	if len(events) != 1 || events[0].Kind != "infeasible" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestControllerUndertakeFlow(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 2, MinTeamSize: 2})
+	_, _, ctrl := newEnv(t, 6, tk)
+	team, ok, err := ctrl.TryAssign(tk)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	allIn, err := ctrl.ConfirmUndertake(tk, team.Members[0])
+	if err != nil || allIn {
+		t.Fatalf("first member: allIn=%v err=%v", allIn, err)
+	}
+	if tk.State() != task.StateAssigned {
+		t.Error("task should stay assigned until all members undertake")
+	}
+	allIn, err = ctrl.ConfirmUndertake(tk, team.Members[1])
+	if err != nil || !allIn {
+		t.Fatalf("second member: allIn=%v err=%v", allIn, err)
+	}
+	if tk.State() != task.StateInProgress {
+		t.Errorf("task should be in progress, got %v", tk.State())
+	}
+	// Confirming a non-member fails.
+	if _, err := ctrl.ConfirmUndertake(tk, "w99"); err == nil {
+		t.Error("non-member undertake should fail")
+	}
+	// Confirming a task with no suggestion fails.
+	other := newTranslationTask(task.Constraints{})
+	other.ID = "t-other"
+	if _, err := ctrl.ConfirmUndertake(other, team.Members[0]); err == nil {
+		t.Error("undertake without suggestion should fail")
+	}
+}
+
+func TestControllerReassignProposesDifferentTeam(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 2, MinTeamSize: 2})
+	_, _, ctrl := newEnv(t, 8, tk)
+	first, ok, err := ctrl.TryAssign(tk)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	second, ok, err := ctrl.Reassign(tk)
+	if err != nil || !ok {
+		t.Fatalf("Reassign = %v %v", ok, err)
+	}
+	if teamSignature(first.Members) == teamSignature(second.Members) {
+		t.Errorf("re-assignment should propose a different team: %v vs %v", first.Members, second.Members)
+	}
+	if tk.State() != task.StateAssigned {
+		t.Errorf("state = %v", tk.State())
+	}
+	kinds := map[string]int{}
+	for _, e := range ctrl.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["reassigned"] != 1 || kinds["suggested"] != 2 {
+		t.Errorf("event kinds = %v", kinds)
+	}
+}
+
+func TestControllerReassignRollsBackUndertakes(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 2, MinTeamSize: 2})
+	wm, _, ctrl := newEnv(t, 6, tk)
+	team, _, err := ctrl.TryAssign(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.ConfirmUndertake(tk, team.Members[0])
+	if _, _, err := ctrl.Reassign(tk); err != nil {
+		t.Fatal(err)
+	}
+	if wm.HasRelationship(worker.Undertakes, string(tk.ID), team.Members[0]) {
+		t.Error("partial undertakes should be rolled back on re-assignment")
+	}
+}
+
+func TestControllerSweepDeadlines(t *testing.T) {
+	now := time.Date(2016, 9, 5, 12, 0, 0, 0, time.UTC)
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 2, MinTeamSize: 2, RecruitmentDeadline: now.Add(time.Hour)})
+	_, _, ctrl := newEnv(t, 8, tk)
+	ctrl.SetClock(func() time.Time { return now })
+	if _, ok, _ := ctrl.TryAssign(tk); !ok {
+		t.Fatal("initial assignment failed")
+	}
+	// Before the deadline nothing happens.
+	if swept := ctrl.SweepDeadlines(now.Add(30 * time.Minute)); len(swept) != 0 {
+		t.Errorf("swept before deadline: %v", swept)
+	}
+	// After the deadline the task is re-assigned.
+	swept := ctrl.SweepDeadlines(now.Add(2 * time.Hour))
+	if len(swept) != 1 || swept[0] != tk.ID {
+		t.Fatalf("swept = %v", swept)
+	}
+	if tk.State() != task.StateAssigned {
+		t.Errorf("task should be re-assigned, got %v", tk.State())
+	}
+	kinds := map[string]int{}
+	for _, e := range ctrl.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["expired"] != 1 {
+		t.Errorf("expected one expired event, got %v", kinds)
+	}
+}
+
+func TestControllerAssignBatch(t *testing.T) {
+	wm, pool, _ := newEnv(t, 12, nil)
+	var tasks []*task.Task
+	for i := 0; i < 5; i++ {
+		tk := task.NewTask(task.ID(fmt.Sprintf("batch-%d", i)), "p1", "t", task.Sequential,
+			task.Constraints{UpperCriticalMass: 3, MinTeamSize: 2, RequiredSkill: "translation"})
+		pool.Register(tk)
+		tasks = append(tasks, tk)
+		for _, id := range wm.IDs() {
+			wm.SetRelationship(worker.Eligible, string(tk.ID), id)
+			wm.SetRelationship(worker.InterestedIn, string(tk.ID), id)
+		}
+	}
+	ctrl := NewController(wm, pool)
+	teams := ctrl.AssignBatch()
+	if len(teams) != 5 {
+		t.Fatalf("AssignBatch formed %d teams, want 5", len(teams))
+	}
+	for _, tk := range tasks {
+		if tk.State() != task.StateAssigned {
+			t.Errorf("task %s state = %v", tk.ID, tk.State())
+		}
+	}
+}
+
+func TestControllerSetAlgorithm(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 3, MinTeamSize: 2})
+	_, _, ctrl := newEnv(t, 10, tk)
+	ctrl.SetAlgorithm(nil) // ignored
+	if ctrl.Algorithm().Name() != "greedy" {
+		t.Errorf("default algorithm = %s", ctrl.Algorithm().Name())
+	}
+	ctrl.SetAlgorithm(StarGreedy{})
+	team, ok, err := ctrl.TryAssign(tk)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if team.Algorithm != "star" {
+		t.Errorf("team algorithm = %s", team.Algorithm)
+	}
+}
+
+func TestControllerBuildProblemUsesLearnedSkill(t *testing.T) {
+	tk := newTranslationTask(task.Constraints{UpperCriticalMass: 2, MinTeamSize: 2})
+	wm, _, ctrl := newEnv(t, 4, tk)
+	p := ctrl.BuildProblem(tk)
+	if len(p.Candidates) != 4 {
+		t.Fatalf("candidates = %d", len(p.Candidates))
+	}
+	for _, c := range p.Candidates {
+		w, _ := wm.Get(c.ID)
+		if c.Skill != w.Factors.Skill("translation") {
+			t.Errorf("candidate skill mismatch for %s", c.ID)
+		}
+		if c.Cost != 1 {
+			t.Errorf("candidate cost = %v", c.Cost)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package collab implements Crowd4U's result-coordination layer (§2.3): once
+// a team of workers has undertaken a task, a collaboration scheme drives how
+// the members work together and how their contributions are combined into a
+// single team result.
+//
+// Three schemes are provided, matching the paper:
+//
+//   - Sequential: members improve each other's contributions through
+//     dynamically generated follow-up steps (draft → check → fix → ...).
+//   - Simultaneous: members first exchange contact (SNS) ids, then contribute
+//     in parallel to a shared artefact; one member submits the merged result,
+//     which is recorded as the team's.
+//   - Hybrid: an arbitrary interleaving of sequential and simultaneous stages
+//     in one dataflow (e.g. surveillance facts collected and corrected
+//     sequentially while testimonials arrive simultaneously).
+package collab
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// StepKind identifies the kind of micro-step a coordinator asks one worker to
+// perform.
+type StepKind string
+
+// Step kinds used by the built-in coordinators.
+const (
+	StepDraft       StepKind = "draft"       // produce an initial contribution
+	StepImprove     StepKind = "improve"     // improve the previous contribution
+	StepCheck       StepKind = "check"       // verify a contribution (yes/no + comment)
+	StepFix         StepKind = "fix"         // repair a contribution that failed a check
+	StepSNS         StepKind = "sns"         // supply a contact / collaboration-tool id
+	StepContribute  StepKind = "contribute"  // add content to the shared artefact
+	StepSubmit      StepKind = "submit"      // submit the merged result on behalf of the team
+	StepFact        StepKind = "fact"        // report an observed fact (surveillance)
+	StepCorrect     StepKind = "correct"     // correct a previously reported fact
+	StepTestimonial StepKind = "testimonial" // provide an independent testimonial
+)
+
+// StepRequest is one micro-step issued to a single worker. In production the
+// platform renders it as a form on the worker's page; in experiments the
+// simulated crowd answers it programmatically.
+type StepRequest struct {
+	TaskID task.ID
+	Worker worker.ID
+	Kind   StepKind
+	Prompt string
+	// Input carries the data the step operates on (the sentence to translate,
+	// the text to check, the member SNS ids, ...).
+	Input map[string]string
+	// Round is the coordination round the step belongs to (1-based).
+	Round int
+}
+
+// StepResponse is a worker's answer to a step.
+type StepResponse struct {
+	Fields map[string]string
+	// Quality is the worker's (estimated) quality for this contribution in
+	// [0,1]; the simulator derives it from skill and team affinity, while the
+	// real platform would derive it from checks and qualification tests.
+	Quality float64
+	// Latency is how long the worker took; used by the latency experiments.
+	Latency time.Duration
+}
+
+// WorkerIO performs steps on behalf of workers. The production implementation
+// routes steps through the web UI; internal/crowdsim provides a simulated
+// crowd for experiments and tests.
+type WorkerIO interface {
+	Perform(req StepRequest) (StepResponse, error)
+}
+
+// StepRecord is one executed step kept in the coordination trace.
+type StepRecord struct {
+	Request  StepRequest
+	Response StepResponse
+}
+
+// Outcome is the result of running a collaboration scheme on a task.
+type Outcome struct {
+	Result *task.Result
+	// Trace lists every step performed, in order.
+	Trace []StepRecord
+	// Rounds is the number of coordination rounds used.
+	Rounds int
+	// TotalLatency is the simulated wall-clock time: sequential steps add up,
+	// simultaneous steps count the maximum of the round.
+	TotalLatency time.Duration
+}
+
+// Quality returns the recorded result quality (0 when no result).
+func (o Outcome) Quality() float64 {
+	if o.Result == nil {
+		return 0
+	}
+	return o.Result.Quality
+}
+
+// Scheme coordinates a team working on one task.
+type Scheme interface {
+	// Name returns the scheme name ("sequential", "simultaneous", "hybrid").
+	Name() task.CollaborationScheme
+	// Run executes the collaboration and returns the team outcome.
+	Run(t *task.Task, team []worker.ID, io WorkerIO) (Outcome, error)
+}
+
+// ErrEmptyTeam is returned when Run is called with no team members.
+var ErrEmptyTeam = errors.New("collab: empty team")
+
+// ForTask returns the scheme implementation matching the task's declared
+// collaboration scheme. Individual tasks use a single-worker sequential
+// pipeline with no check round.
+func ForTask(t *task.Task) Scheme {
+	switch t.Scheme {
+	case task.Simultaneous:
+		return &Simultaneous{}
+	case task.Hybrid:
+		return DefaultHybrid()
+	case task.Individual:
+		return &Sequential{MaxFixRounds: 0, SkipCheck: true}
+	default:
+		return &Sequential{MaxFixRounds: 1}
+	}
+}
+
+// primaryInput extracts the text-like payload a task operates on, trying the
+// conventional input keys produced by the decomposers.
+func primaryInput(t *task.Task) string {
+	for _, k := range []string{"sentence", "chunk", "section", "text", "document", "topic"} {
+		if v, ok := t.Input[k]; ok && v != "" {
+			return v
+		}
+	}
+	return t.Description
+}
+
+// mergeContributions concatenates member contributions into one document,
+// ordered by member id for determinism, skipping empties.
+func mergeContributions(parts map[worker.ID]string) string {
+	ids := make([]worker.ID, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for _, id := range ids {
+		p := strings.TrimSpace(parts[id])
+		if p == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("\n\n")
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// averageQuality returns the mean of the given qualities (0 for none).
+func averageQuality(qs []float64) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range qs {
+		sum += q
+	}
+	return sum / float64(len(qs))
+}
+
+// boolField parses a yes/no or boolean form field.
+func boolField(fields map[string]string, key string) bool {
+	v := strings.ToLower(strings.TrimSpace(fields[key]))
+	return v == "yes" || v == "true" || v == "1" || v == "ok"
+}
+
+func teamID(members []worker.ID) string {
+	parts := make([]string, len(members))
+	for i, m := range members {
+		parts[i] = string(m)
+	}
+	sort.Strings(parts)
+	return "team:" + strings.Join(parts, "+")
+}

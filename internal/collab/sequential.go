@@ -1,0 +1,150 @@
+package collab
+
+import (
+	"fmt"
+
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// Sequential implements the sequential collaboration scheme: "the team members
+// collaborate with each other through the tasks dynamically generated based on
+// other members' task results. For example, after a worker translates a
+// sentence into another language, a task for checking the result is
+// dynamically generated, and the result is sent to another team member."
+//
+// Coordination proceeds as:
+//
+//  1. the first member drafts a contribution for the task input;
+//  2. the next member checks it; if the check fails, the following member (or
+//     the drafter when the team has only two members) is asked to fix it, and
+//     the fix is checked again, up to MaxFixRounds times;
+//  3. every remaining member in turn improves the current text, each
+//     improvement followed by a check by the next member.
+//
+// The final text is recorded as the task result; its quality is the mean
+// quality of the accepted contributions.
+type Sequential struct {
+	// MaxFixRounds bounds the number of check→fix cycles after any
+	// contribution (default 1).
+	MaxFixRounds int
+	// SkipCheck disables dynamically generated check steps; used for
+	// Individual (single-worker) tasks.
+	SkipCheck bool
+}
+
+// Name implements Scheme.
+func (s *Sequential) Name() task.CollaborationScheme { return task.Sequential }
+
+// Run implements Scheme.
+func (s *Sequential) Run(t *task.Task, team []worker.ID, io WorkerIO) (Outcome, error) {
+	if len(team) == 0 {
+		return Outcome{}, ErrEmptyTeam
+	}
+	maxFix := s.MaxFixRounds
+	if maxFix < 0 {
+		maxFix = 0
+	}
+	out := Outcome{}
+	input := primaryInput(t)
+
+	perform := func(req StepRequest) (StepResponse, error) {
+		resp, err := io.Perform(req)
+		if err != nil {
+			return StepResponse{}, fmt.Errorf("collab: step %s by %s failed: %w", req.Kind, req.Worker, err)
+		}
+		out.Trace = append(out.Trace, StepRecord{Request: req, Response: resp})
+		out.TotalLatency += resp.Latency
+		return resp, nil
+	}
+
+	// Step 1: the first member drafts.
+	round := 1
+	draft, err := perform(StepRequest{
+		TaskID: t.ID, Worker: team[0], Kind: StepDraft, Round: round,
+		Prompt: t.Title,
+		Input:  map[string]string{"source": input},
+	})
+	if err != nil {
+		return out, err
+	}
+	current := draft.Fields["text"]
+	qualities := []float64{draft.Quality}
+
+	next := func(i int) worker.ID { return team[i%len(team)] }
+
+	// checkAndFix runs the dynamically generated check task, and fix rounds if
+	// the check fails. contributorIdx is the index of the member who produced
+	// the text being checked.
+	checkAndFix := func(contributorIdx int) error {
+		if s.SkipCheck || len(team) < 2 {
+			return nil
+		}
+		checkerIdx := contributorIdx + 1
+		for fix := 0; ; fix++ {
+			round++
+			check, err := perform(StepRequest{
+				TaskID: t.ID, Worker: next(checkerIdx), Kind: StepCheck, Round: round,
+				Prompt: "Is this contribution correct?",
+				Input:  map[string]string{"source": input, "text": current},
+			})
+			if err != nil {
+				return err
+			}
+			if boolField(check.Fields, "confirmed") || fix >= maxFix {
+				return nil
+			}
+			round++
+			fixer := next(checkerIdx + 1)
+			fixResp, err := perform(StepRequest{
+				TaskID: t.ID, Worker: fixer, Kind: StepFix, Round: round,
+				Prompt: "Fix the contribution based on the check comment",
+				Input: map[string]string{
+					"source": input, "text": current, "comment": check.Fields["comment"],
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if fixResp.Fields["text"] != "" {
+				current = fixResp.Fields["text"]
+				qualities = append(qualities, fixResp.Quality)
+			}
+		}
+	}
+
+	if err := checkAndFix(0); err != nil {
+		return out, err
+	}
+
+	// Steps 3+: each remaining member improves the text in turn, with a check
+	// after each improvement.
+	for i := 1; i < len(team); i++ {
+		round++
+		improve, err := perform(StepRequest{
+			TaskID: t.ID, Worker: team[i], Kind: StepImprove, Round: round,
+			Prompt: "Improve the current contribution",
+			Input:  map[string]string{"source": input, "text": current},
+		})
+		if err != nil {
+			return out, err
+		}
+		if improve.Fields["text"] != "" {
+			current = improve.Fields["text"]
+		}
+		qualities = append(qualities, improve.Quality)
+		if err := checkAndFix(i); err != nil {
+			return out, err
+		}
+	}
+
+	out.Rounds = round
+	out.Result = &task.Result{
+		TaskID:      t.ID,
+		TeamID:      teamID(team),
+		SubmittedBy: string(team[len(team)-1]),
+		Fields:      map[string]string{"text": current},
+		Quality:     averageQuality(qualities),
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package collab
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// SharedDocument stands in for the external collaboration tool (e.g. Google
+// Docs) used during simultaneous collaboration. The paper delegates the actual
+// editing to such tools and only manages task generation and result recording;
+// this type provides just enough of a shared artefact — an append-only
+// operation log with deterministic merging — for result coordination to be
+// exercised and tested end to end. All methods are safe for concurrent use.
+type SharedDocument struct {
+	id string
+
+	mu  sync.RWMutex
+	ops []DocOp
+}
+
+// DocOp is one edit applied to the shared document.
+type DocOp struct {
+	Seq    int
+	Author worker.ID
+	// Section optionally names the document section the text belongs to.
+	Section string
+	Text    string
+	At      time.Time
+}
+
+// NewSharedDocument creates an empty shared document session.
+func NewSharedDocument(id string) *SharedDocument {
+	return &SharedDocument{id: id}
+}
+
+// ID returns the session id.
+func (d *SharedDocument) ID() string { return d.id }
+
+// Append adds a contribution to the end of the document.
+func (d *SharedDocument) Append(author worker.ID, text string) {
+	d.AppendSection(author, "", text)
+}
+
+// AppendSection adds a contribution attributed to a named section.
+func (d *SharedDocument) AppendSection(author worker.ID, section, text string) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ops = append(d.ops, DocOp{
+		Seq:     len(d.ops) + 1,
+		Author:  author,
+		Section: section,
+		Text:    text,
+		At:      time.Now(),
+	})
+}
+
+// Ops returns a copy of the operation log.
+func (d *SharedDocument) Ops() []DocOp {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]DocOp(nil), d.ops...)
+}
+
+// Len returns the number of operations applied.
+func (d *SharedDocument) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ops)
+}
+
+// Contributors returns the sorted distinct authors.
+func (d *SharedDocument) Contributors() []worker.ID {
+	d.mu.RLock()
+	set := make(map[worker.ID]bool)
+	for _, op := range d.ops {
+		set[op.Author] = true
+	}
+	d.mu.RUnlock()
+	out := make([]worker.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Text merges the document: operations are grouped by section (sections in
+// first-appearance order, the unnamed section first), and inside a section
+// contributions appear in operation order separated by blank lines. Named
+// sections are rendered with a "## section" heading.
+func (d *SharedDocument) Text() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	var sectionOrder []string
+	bySection := make(map[string][]string)
+	for _, op := range d.ops {
+		if _, seen := bySection[op.Section]; !seen {
+			sectionOrder = append(sectionOrder, op.Section)
+		}
+		bySection[op.Section] = append(bySection[op.Section], op.Text)
+	}
+	// The unnamed section always renders first when present.
+	sort.SliceStable(sectionOrder, func(i, j int) bool {
+		if sectionOrder[i] == "" {
+			return sectionOrder[j] != ""
+		}
+		return false
+	})
+
+	var b strings.Builder
+	for _, sec := range sectionOrder {
+		if b.Len() > 0 {
+			b.WriteString("\n\n")
+		}
+		if sec != "" {
+			b.WriteString("## ")
+			b.WriteString(sec)
+			b.WriteString("\n\n")
+		}
+		b.WriteString(strings.Join(bySection[sec], "\n\n"))
+	}
+	return b.String()
+}

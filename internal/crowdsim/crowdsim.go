@@ -1,0 +1,403 @@
+// Package crowdsim provides a deterministic simulated crowd. The paper's
+// Crowd4U deployment relies on live volunteer workers at crowd4u.org; this
+// repository substitutes a simulator (see DESIGN.md §2) so that every code
+// path of the platform — eligibility, interest, undertaking, collaboration
+// steps, CyLog open-predicate answers — can be exercised unattended and
+// reproducibly. The simulator models:
+//
+//   - worker populations with languages, regions, locations, skills and wages;
+//   - interest and acceptance behaviour (probability of declaring interest in
+//     an eligible task, probability of undertaking a suggested assignment);
+//   - answer synthesis for collaboration steps, with answer quality driven by
+//     the worker's skill plus a team-affinity synergy bonus and bounded noise;
+//   - latency per step, proportional to the work kind.
+package crowdsim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/collab"
+	"github.com/crowd4u/crowd4u-go/internal/cylog"
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// Config tunes the simulated crowd's behaviour.
+type Config struct {
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// InterestProbability is the chance an eligible worker declares interest
+	// in a task shown on their user page.
+	InterestProbability float64
+	// AcceptProbability is the chance a suggested team member undertakes the
+	// task before the recruitment deadline.
+	AcceptProbability float64
+	// QualityNoise is the half-width of the uniform noise added to answer
+	// quality.
+	QualityNoise float64
+	// AffinitySynergy scales how much the team's mean affinity boosts each
+	// member's contribution quality — the "synergistic effect caused by
+	// worker collaboration" the paper formalises.
+	AffinitySynergy float64
+	// BaseLatency is the minimum simulated time per step; heavier step kinds
+	// take integer multiples of it.
+	BaseLatency time.Duration
+}
+
+// DefaultConfig returns sensible simulation defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                seed,
+		InterestProbability: 0.6,
+		AcceptProbability:   0.8,
+		QualityNoise:        0.05,
+		AffinitySynergy:     0.2,
+		BaseLatency:         30 * time.Second,
+	}
+}
+
+// Crowd is a simulated population bound to a worker manager.
+type Crowd struct {
+	cfg     Config
+	manager *worker.Manager
+
+	mu  sync.Mutex
+	rng *rng
+	// teamAffinity caches the affinity context used when answering steps for
+	// a task (set by SetTeamContext).
+	teamAffinity map[task.ID]float64
+	// steps counts performed steps per kind for reporting.
+	steps map[collab.StepKind]int
+}
+
+// New creates a simulated crowd over the given worker manager.
+func New(cfg Config, m *worker.Manager) *Crowd {
+	if cfg.InterestProbability <= 0 {
+		cfg.InterestProbability = 0.6
+	}
+	if cfg.AcceptProbability <= 0 {
+		cfg.AcceptProbability = 0.8
+	}
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 30 * time.Second
+	}
+	return &Crowd{
+		cfg:          cfg,
+		manager:      m,
+		rng:          newRNG(uint64(cfg.Seed)),
+		teamAffinity: make(map[task.ID]float64),
+		steps:        make(map[collab.StepKind]int),
+	}
+}
+
+// Manager returns the worker manager the crowd is registered in.
+func (c *Crowd) Manager() *worker.Manager { return c.manager }
+
+// StepCounts returns how many steps of each kind the crowd has performed.
+func (c *Crowd) StepCounts() map[collab.StepKind]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[collab.StepKind]int, len(c.steps))
+	for k, v := range c.steps {
+		out[k] = v
+	}
+	return out
+}
+
+// PopulationSpec controls synthetic population generation.
+type PopulationSpec struct {
+	Size int
+	// Regions to scatter workers over; workers in the same region get high
+	// location-driven affinity.
+	Regions []string
+	// Languages available; every worker gets one native language and possibly
+	// one other.
+	Languages []string
+	// Skills to endow; each worker gets a proficiency drawn uniformly from
+	// [SkillMin, SkillMax] for each skill.
+	Skills   []string
+	SkillMin float64
+	SkillMax float64
+	// SecondLanguageProbability is the chance a worker also speaks a second
+	// language.
+	SecondLanguageProbability float64
+}
+
+// DefaultPopulation returns the spec used by the examples and experiments: a
+// bilingual, multi-region population with translation, journalism and
+// surveillance skills.
+func DefaultPopulation(n int) PopulationSpec {
+	return PopulationSpec{
+		Size:                      n,
+		Regions:                   []string{"tsukuba", "tokyo", "paris", "arlington", "doha"},
+		Languages:                 []string{"en", "ja", "fr", "ar"},
+		Skills:                    []string{"translation", "journalism", "surveillance", "transcription"},
+		SkillMin:                  0.3,
+		SkillMax:                  1.0,
+		SecondLanguageProbability: 0.5,
+	}
+}
+
+// regionCoords gives each known region a representative coordinate so that
+// location-driven affinity behaves like the paper's surveillance example.
+var regionCoords = map[string]worker.Location{
+	"tsukuba":   {Lat: 36.08, Lon: 140.11},
+	"tokyo":     {Lat: 35.68, Lon: 139.77},
+	"paris":     {Lat: 48.85, Lon: 2.35},
+	"arlington": {Lat: 32.73, Lon: -97.11},
+	"doha":      {Lat: 25.28, Lon: 51.53},
+}
+
+// GeneratePopulation registers Size synthetic workers with the crowd's worker
+// manager, fills the affinity matrix from their locations plus a random
+// rapport component, and returns the created workers.
+func (c *Crowd) GeneratePopulation(spec PopulationSpec) []*worker.Worker {
+	if spec.Size <= 0 {
+		return nil
+	}
+	if len(spec.Regions) == 0 {
+		spec.Regions = []string{"default"}
+	}
+	if len(spec.Languages) == 0 {
+		spec.Languages = []string{"en"}
+	}
+	if spec.SkillMax <= spec.SkillMin {
+		spec.SkillMin, spec.SkillMax = 0.3, 1.0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	workers := make([]*worker.Worker, 0, spec.Size)
+	for i := 0; i < spec.Size; i++ {
+		region := spec.Regions[i%len(spec.Regions)]
+		loc := regionCoords[region]
+		loc.Region = region
+		// Jitter coordinates so same-region workers are near but not identical.
+		loc.Lat += (c.rng.float() - 0.5) * 0.2
+		loc.Lon += (c.rng.float() - 0.5) * 0.2
+
+		native := spec.Languages[int(c.rng.next()%uint64(len(spec.Languages)))]
+		var others []string
+		if c.rng.float() < spec.SecondLanguageProbability {
+			other := spec.Languages[int(c.rng.next()%uint64(len(spec.Languages)))]
+			if other != native {
+				others = append(others, other)
+			}
+		}
+		skills := make(map[string]float64, len(spec.Skills))
+		for _, s := range spec.Skills {
+			skills[s] = spec.SkillMin + (spec.SkillMax-spec.SkillMin)*c.rng.float()
+		}
+		w := &worker.Worker{
+			ID:   worker.ID(fmt.Sprintf("sim-%04d", i)),
+			Name: fmt.Sprintf("Worker %04d", i),
+			Factors: worker.HumanFactors{
+				NativeLanguages: []string{native},
+				OtherLanguages:  others,
+				Location:        loc,
+				Skills:          skills,
+				WagePerTask:     1,
+			},
+			LoggedIn: true,
+		}
+		if err := c.manager.Register(w); err == nil {
+			workers = append(workers, w)
+		}
+	}
+
+	// Affinity: location-driven base plus a personal-rapport perturbation.
+	c.manager.Affinity().FillFromLocations(workers, 0.8, 100)
+	aff := c.manager.Affinity()
+	for i := 0; i < len(workers); i++ {
+		for j := i + 1; j < len(workers); j++ {
+			base := aff.Get(workers[i].ID, workers[j].ID)
+			rapport := 0.2 * c.rng.float()
+			aff.Set(workers[i].ID, workers[j].ID, base*0.8+rapport)
+		}
+	}
+	return workers
+}
+
+// DeclareInterest simulates step 3 of Figure 2: the eligible workers see the
+// task on their user pages and some of them declare interest. It records the
+// InterestedIn relationship and returns the interested worker ids.
+func (c *Crowd) DeclareInterest(taskID task.ID, eligible []worker.ID) []worker.ID {
+	var interested []worker.ID
+	for _, id := range eligible {
+		c.mu.Lock()
+		roll := c.rng.float()
+		c.mu.Unlock()
+		if roll < c.cfg.InterestProbability {
+			if err := c.manager.SetRelationship(worker.InterestedIn, string(taskID), id); err == nil {
+				interested = append(interested, id)
+			}
+		}
+	}
+	return interested
+}
+
+// WillUndertake simulates whether a suggested team member accepts and starts
+// the task before the deadline.
+func (c *Crowd) WillUndertake(worker.ID, task.ID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.float() < c.cfg.AcceptProbability
+}
+
+// SetTeamContext tells the crowd the mean affinity of the team working on a
+// task so that contribution quality reflects collaboration synergy.
+func (c *Crowd) SetTeamContext(taskID task.ID, meanAffinity float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.teamAffinity[taskID] = meanAffinity
+}
+
+// skillForStep maps a step kind to the skill that governs its quality.
+func skillForStep(kind collab.StepKind) string {
+	switch kind {
+	case collab.StepDraft, collab.StepImprove, collab.StepFix:
+		return "translation"
+	case collab.StepContribute, collab.StepSubmit:
+		return "journalism"
+	case collab.StepFact, collab.StepCorrect, collab.StepTestimonial:
+		return "surveillance"
+	case collab.StepCheck:
+		return "translation"
+	default:
+		return ""
+	}
+}
+
+// latencyMultiplier scales the base latency per step kind.
+func latencyMultiplier(kind collab.StepKind) int {
+	switch kind {
+	case collab.StepDraft, collab.StepContribute, collab.StepFact:
+		return 4
+	case collab.StepImprove, collab.StepFix, collab.StepCorrect, collab.StepTestimonial:
+		return 3
+	case collab.StepCheck, collab.StepSubmit:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Perform implements collab.WorkerIO: it synthesises a plausible answer for
+// the step, with quality derived from the worker's skill, the team affinity
+// context and bounded noise.
+func (c *Crowd) Perform(req collab.StepRequest) (collab.StepResponse, error) {
+	w, ok := c.manager.Get(req.Worker)
+	if !ok {
+		return collab.StepResponse{}, fmt.Errorf("crowdsim: unknown worker %s", req.Worker)
+	}
+	c.mu.Lock()
+	c.steps[req.Kind]++
+	noise := (c.rng.float()*2 - 1) * c.cfg.QualityNoise
+	synergy := c.teamAffinity[req.TaskID] * c.cfg.AffinitySynergy
+	latencyJitter := c.rng.float()
+	c.mu.Unlock()
+
+	skillName := skillForStep(req.Kind)
+	skill := w.Factors.Skill(skillName)
+	if skillName == "" {
+		skill = 0.7
+	}
+	quality := clamp01(skill + synergy + noise)
+	latency := time.Duration(float64(c.cfg.BaseLatency) * float64(latencyMultiplier(req.Kind)) * (0.75 + 0.5*latencyJitter))
+
+	fields := map[string]string{}
+	source := req.Input["source"]
+	if source == "" {
+		source = req.Input["topic"]
+	}
+	prev := req.Input["text"]
+	switch req.Kind {
+	case collab.StepDraft:
+		fields["text"] = fmt.Sprintf("[draft by %s] %s", req.Worker, source)
+	case collab.StepImprove:
+		fields["text"] = fmt.Sprintf("%s [improved by %s]", prev, req.Worker)
+	case collab.StepFix:
+		fields["text"] = fmt.Sprintf("%s [fixed by %s]", prev, req.Worker)
+	case collab.StepCheck:
+		// High-quality work passes the check with probability rising in the
+		// checker's own quality.
+		verdict := "yes"
+		if quality < 0.45 {
+			verdict = "no"
+		}
+		fields["confirmed"] = verdict
+		fields["comment"] = fmt.Sprintf("checked by %s", req.Worker)
+	case collab.StepSNS:
+		fields["sns_id"] = fmt.Sprintf("%s@crowd4u.example", req.Worker)
+	case collab.StepContribute:
+		section := req.Input["section"]
+		if section != "" {
+			fields["text"] = fmt.Sprintf("[%s section by %s] coverage of %s", section, req.Worker, source)
+		} else {
+			fields["text"] = fmt.Sprintf("[contribution by %s] coverage of %s", req.Worker, source)
+		}
+	case collab.StepSubmit:
+		fields["text"] = req.Input["document"]
+	case collab.StepFact:
+		fields["text"] = fmt.Sprintf("[fact by %s] observation at %s/%s", req.Worker, req.Input["region"], req.Input["period"])
+	case collab.StepCorrect:
+		fields["text"] = fmt.Sprintf("%s [corrected by %s]", prev, req.Worker)
+	case collab.StepTestimonial:
+		fields["text"] = fmt.Sprintf("[testimonial by %s] independent account for %s/%s", req.Worker, req.Input["region"], req.Input["period"])
+	default:
+		fields["text"] = fmt.Sprintf("[%s by %s]", req.Kind, req.Worker)
+	}
+	return collab.StepResponse{Fields: fields, Quality: quality, Latency: latency}, nil
+}
+
+// AnswerOpenRequest answers a CyLog open request the way a worker would: text
+// columns get synthetic content, boolean columns are usually true, and numeric
+// columns get small counts. It is used as the oracle for engine-level runs.
+func (c *Crowd) AnswerOpenRequest(req cylog.OpenRequest) (map[string]any, bool) {
+	c.mu.Lock()
+	roll := c.rng.float()
+	c.mu.Unlock()
+	out := make(map[string]any, len(req.OpenColumns))
+	for _, col := range req.OpenColumns {
+		switch {
+		case strings.Contains(col, "ok") || strings.Contains(col, "confirmed") || strings.Contains(col, "valid"):
+			out[col] = roll < 0.85
+		case strings.Contains(col, "count") || strings.Contains(col, "num"):
+			out[col] = int(roll * 10)
+		case strings.Contains(col, "score") || strings.Contains(col, "quality"):
+			out[col] = roll
+		default:
+			out[col] = fmt.Sprintf("crowd answer for %s %v", req.Relation, req.KeyValues)
+		}
+	}
+	return out, true
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// rng is a SplitMix64 deterministic generator (math/rand is avoided so that
+// experiment outputs are stable across Go releases).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x1234567890abcdef} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,149 @@
+package cylog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeTranslationProgram(t *testing.T) {
+	p := MustParse(translationProgram)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IDB["eligible"] || !a.IDB["final"] {
+		t.Errorf("IDB = %v", a.IDB)
+	}
+	if !a.EDB["sentence"] || !a.EDB["worker"] || !a.EDB["translated"] {
+		t.Errorf("EDB = %v", a.EDB)
+	}
+	if !a.OpenRelations["translated"] || !a.OpenRelations["checked"] || a.OpenRelations["sentence"] {
+		t.Errorf("OpenRelations = %v", a.OpenRelations)
+	}
+	if len(a.Strata) != 1 {
+		t.Errorf("strata = %d", len(a.Strata))
+	}
+	if len(a.DependsOn["final"]) != 2 {
+		t.Errorf("DependsOn[final] = %v", a.DependsOn["final"])
+	}
+	desc := a.Describe()
+	if !strings.Contains(desc, "rules: 2") || !strings.Contains(desc, "stratum 0") {
+		t.Errorf("Describe() = %q", desc)
+	}
+}
+
+func TestAnalyzeStratifiedNegation(t *testing.T) {
+	p := MustParse(`
+rel worker(w: string).
+rel assigned(w: string).
+rel idle(w: string).
+idle(W) :- worker(W), !assigned(W).
+assigned(W) :- worker(W), busy(W).
+rel busy(w: string).
+`)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Strata) != 2 {
+		t.Fatalf("strata = %d, want 2", len(a.Strata))
+	}
+	// assigned must be computed before idle.
+	if a.Strata[0][0].Head.Predicate != "assigned" || a.Strata[1][0].Head.Predicate != "idle" {
+		t.Errorf("stratum order wrong: %v then %v", a.Strata[0][0].Head.Predicate, a.Strata[1][0].Head.Predicate)
+	}
+}
+
+func TestAnalyzeRecursionThroughNegationRejected(t *testing.T) {
+	p := MustParse(`
+rel p(x: int).
+rel q(x: int).
+rel base(x: int).
+p(X) :- base(X), !q(X).
+q(X) :- base(X), !p(X).
+`)
+	if _, err := Analyze(p); err == nil {
+		t.Error("recursion through negation should be rejected")
+	}
+}
+
+func TestAnalyzeRecursionWithoutNegationAllowed(t *testing.T) {
+	p := MustParse(`
+rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Strata) != 1 || len(a.Strata[0]) != 2 {
+		t.Errorf("strata = %v", a.Strata)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"undeclared fact relation", `rel a(x: int). b(1).`},
+		{"fact arity", `rel a(x: int). a(1, 2).`},
+		{"fact type", `rel a(x: int). a("not a number").`},
+		{"undeclared head", `rel a(x: int). b(X) :- a(X).`},
+		{"undeclared body", `rel a(x: int). a(X) :- b(X).`},
+		{"head arity", `rel a(x: int). rel b(x: int, y: int). b(X) :- a(X).`},
+		{"body arity", `rel a(x: int). rel b(x: int). b(X) :- a(X, Y).`},
+		{"open head", `rel a(x: int). open rel h(x: int). h(X) :- a(X).`},
+		{"unsafe head var", `rel a(x: int). rel b(x: int, y: int). b(X, Y) :- a(X).`},
+		{"unsafe negation var", `rel a(x: int). rel b(x: int). rel c(x: int). c(X) :- a(X), !b(Y).`},
+		{"unsafe comparison var", `rel a(x: int). rel c(x: int). c(X) :- a(X), Y > 3.`},
+		{"no positive atom", `rel a(x: int). rel c(x: int). c(3) :- !a(3).`},
+		{"anonymous in head", `rel a(x: int). rel c(x: int). c(_) :- a(_).`},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: unexpected parse error: %v", c.name, err)
+		}
+		if _, err := Analyze(p); err == nil {
+			t.Errorf("%s: expected analysis error", c.name)
+		}
+	}
+}
+
+func TestAnalyzeNegationOverEDBStaysSingleStratum(t *testing.T) {
+	p := MustParse(`
+rel worker(w: string).
+rel banned(w: string).
+rel ok(w: string).
+ok(W) :- worker(W), !banned(W).
+`)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Strata) != 1 {
+		t.Errorf("negation over EDB should not add strata, got %d", len(a.Strata))
+	}
+}
+
+func TestMustAnalyzePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAnalyze should panic on a bad program")
+		}
+	}()
+	MustAnalyze(MustParse(`rel a(x: int). b(X) :- a(X).`))
+}
+
+func TestAnalyzeEmptyProgram(t *testing.T) {
+	a, err := Analyze(MustParse(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Strata) != 0 || len(a.IDB) != 0 {
+		t.Errorf("empty program analysis = %+v", a)
+	}
+}

@@ -1,0 +1,290 @@
+// Package cylog implements the CyLog processor of Figure 2: a Datalog-like
+// declarative language for crowdsourcing applications with complex data flows
+// (Morishima et al. [7]). Requesters describe projects as CyLog programs; the
+// processor interprets the rules, evaluates ordinary predicates against the
+// relational store, and — for *open* predicates whose truth value is decided
+// by humans — dynamically generates micro-task requests and resumes evaluation
+// when worker answers arrive.
+//
+// The package contains the language front end (lexer, parser, AST), a semantic
+// analyzer (safety and stratified negation), and a naive and semi-naive
+// bottom-up evaluation engine on top of the relstore package.
+package cylog
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
+)
+
+// Program is a parsed CyLog program: relation declarations, base facts and
+// derivation rules.
+type Program struct {
+	Declarations []*Declaration
+	Facts        []*Fact
+	Rules        []*Rule
+}
+
+// Declaration declares a relation. Open relations are evaluated by humans:
+// when a rule needs a tuple of an open relation that is not yet known, the
+// engine emits a task request asking workers to supply the missing columns.
+type Declaration struct {
+	Name    string
+	Columns []ColumnDecl
+	// Open marks a human-evaluated (open) predicate.
+	Open bool
+	// Key lists the columns that identify one human micro-task: when a rule
+	// binds exactly these columns and no matching fact exists, a task is
+	// generated. Empty Key means "all columns bound by the rule".
+	Key []string
+	// Prompt is the question shown to workers for open relations
+	// (the `asks "..."` clause).
+	Prompt string
+	// Scheme optionally names the collaboration scheme for tasks generated
+	// from this relation ("sequential", "simultaneous", "hybrid",
+	// "individual"); empty means individual.
+	Scheme string
+	// Pos is the source position of the declaration.
+	Pos Position
+}
+
+// ColumnDecl is one typed column of a declared relation.
+type ColumnDecl struct {
+	Name string
+	Type relstore.Type
+}
+
+// Schema builds the relstore schema for the declaration.
+func (d *Declaration) Schema() *relstore.Schema {
+	cols := make([]relstore.Column, len(d.Columns))
+	for i, c := range d.Columns {
+		cols[i] = relstore.Column{Name: c.Name, Type: c.Type}
+	}
+	return relstore.NewSchema(cols...)
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (d *Declaration) ColumnIndex(name string) int {
+	for i, c := range d.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the declaration in source syntax.
+func (d *Declaration) String() string {
+	var b strings.Builder
+	if d.Open {
+		b.WriteString("open ")
+	}
+	b.WriteString("rel ")
+	b.WriteString(d.Name)
+	b.WriteByte('(')
+	for i, c := range d.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	if len(d.Key) > 0 {
+		fmt.Fprintf(&b, " key(%s)", strings.Join(d.Key, ", "))
+	}
+	if d.Prompt != "" {
+		fmt.Fprintf(&b, " asks %q", d.Prompt)
+	}
+	if d.Scheme != "" {
+		fmt.Fprintf(&b, " scheme %q", d.Scheme)
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Fact is a ground base tuple asserted in the program text.
+type Fact struct {
+	Relation string
+	Values   []relstore.Value
+	Pos      Position
+}
+
+// String renders the fact in source syntax.
+func (f *Fact) String() string {
+	parts := make([]string, len(f.Values))
+	for i, v := range f.Values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s(%s).", f.Relation, strings.Join(parts, ", "))
+}
+
+// Rule is a Horn rule: Head :- Body1, ..., BodyN.
+type Rule struct {
+	Head *Atom
+	Body []Literal
+	Pos  Position
+}
+
+// String renders the rule in source syntax.
+func (r *Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return fmt.Sprintf("%s :- %s.", r.Head, strings.Join(parts, ", "))
+}
+
+// Literal is a body element: a positive atom, a negated atom, or a comparison.
+type Literal interface {
+	fmt.Stringer
+	// Variables returns the variable names appearing in the literal.
+	Variables() []string
+	literal()
+}
+
+// Atom is a predicate applied to terms, e.g. worker(W, "en").
+type Atom struct {
+	Predicate string
+	Terms     []Term
+	// Negated marks "!atom" in a rule body.
+	Negated bool
+	Pos     Position
+}
+
+func (*Atom) literal() {}
+
+// Variables implements Literal.
+func (a *Atom) Variables() []string {
+	var out []string
+	for _, t := range a.Terms {
+		if v, ok := t.(Variable); ok {
+			out = append(out, string(v))
+		}
+	}
+	return out
+}
+
+// String renders the atom in source syntax.
+func (a *Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	neg := ""
+	if a.Negated {
+		neg = "!"
+	}
+	return fmt.Sprintf("%s%s(%s)", neg, a.Predicate, strings.Join(parts, ", "))
+}
+
+// CompareOp is a comparison operator in rule bodies.
+type CompareOp string
+
+// Supported comparison operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "!="
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+)
+
+// Comparison is a built-in constraint literal, e.g. Skill >= 0.7.
+type Comparison struct {
+	Left  Term
+	Op    CompareOp
+	Right Term
+	Pos   Position
+}
+
+func (*Comparison) literal() {}
+
+// Variables implements Literal.
+func (c *Comparison) Variables() []string {
+	var out []string
+	if v, ok := c.Left.(Variable); ok {
+		out = append(out, string(v))
+	}
+	if v, ok := c.Right.(Variable); ok {
+		out = append(out, string(v))
+	}
+	return out
+}
+
+// String renders the comparison in source syntax.
+func (c *Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Term is a variable or a constant appearing in atoms and comparisons.
+type Term interface {
+	fmt.Stringer
+	term()
+}
+
+// Variable is a logic variable; variables start with an upper-case letter or
+// underscore ("_" alone is the anonymous variable).
+type Variable string
+
+func (Variable) term() {}
+
+// String implements fmt.Stringer.
+func (v Variable) String() string { return string(v) }
+
+// Anonymous reports whether the variable is the anonymous "_" placeholder.
+func (v Variable) Anonymous() bool { return v == "_" }
+
+// Constant is a ground value.
+type Constant struct {
+	Value relstore.Value
+}
+
+func (Constant) term() {}
+
+// String implements fmt.Stringer.
+func (c Constant) String() string { return c.Value.String() }
+
+// Position is a 1-based source location used in diagnostics.
+type Position struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// DeclarationFor returns the declaration of the named relation, or nil.
+func (p *Program) DeclarationFor(name string) *Declaration {
+	for _, d := range p.Declarations {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// IsOpen reports whether the named relation is declared open.
+func (p *Program) IsOpen(name string) bool {
+	d := p.DeclarationFor(name)
+	return d != nil && d.Open
+}
+
+// String renders the whole program in source syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Declarations {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Facts {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,314 @@
+package cylog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent           // lower-case identifier: relation names, keywords, symbol constants
+	tokVariable        // upper-case identifier or _
+	tokNumber          // integer or float literal
+	tokString          // double-quoted string literal
+	tokLParen          // (
+	tokRParen          // )
+	tokComma           // ,
+	tokDot             // .
+	tokColon           // :
+	tokImplies         // :-
+	tokBang            // !
+	tokEq              // =
+	tokNe              // !=
+	tokLt              // <
+	tokLe              // <=
+	tokGt              // >
+	tokGe              // >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokVariable:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokImplies:
+		return "':-'"
+	case tokBang:
+		return "'!'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its text and position.
+type token struct {
+	kind tokenKind
+	text string
+	pos  Position
+}
+
+// lexError is a lexical error with position information.
+type lexError struct {
+	pos Position
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("cylog: %s: %s", e.pos, e.msg) }
+
+// lexer turns CyLog source text into tokens. Comments start with "//" or "#"
+// and run to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(pos Position, format string, args ...any) error {
+	return &lexError{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) pos() Position { return Position{Line: l.line, Col: l.col} }
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == 0:
+			return
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			l.skipLine()
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for {
+		r := l.advance()
+		if r == '\n' || r == 0 {
+			return
+		}
+	}
+}
+
+// tokens lexes the whole input.
+func (l *lexer) tokens() ([]token, error) {
+	var out []token
+	for {
+		l.skipSpaceAndComments()
+		pos := l.pos()
+		r := l.peek()
+		if r == 0 {
+			out = append(out, token{kind: tokEOF, pos: pos})
+			return out, nil
+		}
+		switch {
+		case r == '(':
+			l.advance()
+			out = append(out, token{tokLParen, "(", pos})
+		case r == ')':
+			l.advance()
+			out = append(out, token{tokRParen, ")", pos})
+		case r == ',':
+			l.advance()
+			out = append(out, token{tokComma, ",", pos})
+		case r == '.':
+			l.advance()
+			out = append(out, token{tokDot, ".", pos})
+		case r == '!':
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				out = append(out, token{tokNe, "!=", pos})
+			} else {
+				out = append(out, token{tokBang, "!", pos})
+			}
+		case r == '=':
+			l.advance()
+			out = append(out, token{tokEq, "=", pos})
+		case r == '<':
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				out = append(out, token{tokLe, "<=", pos})
+			} else {
+				out = append(out, token{tokLt, "<", pos})
+			}
+		case r == '>':
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				out = append(out, token{tokGe, ">=", pos})
+			} else {
+				out = append(out, token{tokGt, ">", pos})
+			}
+		case r == ':':
+			l.advance()
+			if l.peek() == '-' {
+				l.advance()
+				out = append(out, token{tokImplies, ":-", pos})
+			} else {
+				out = append(out, token{tokColon, ":", pos})
+			}
+		case r == '"':
+			s, err := l.lexString(pos)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, token{tokString, s, pos})
+		case unicode.IsDigit(r) || (r == '-' && l.nextIsDigit()):
+			out = append(out, token{tokNumber, l.lexNumber(), pos})
+		case unicode.IsLetter(r) || r == '_':
+			text := l.lexIdent()
+			kind := tokIdent
+			first, _ := utf8.DecodeRuneInString(text)
+			if unicode.IsUpper(first) || first == '_' {
+				kind = tokVariable
+			}
+			out = append(out, token{kind, text, pos})
+		default:
+			return nil, l.errorf(pos, "unexpected character %q", r)
+		}
+	}
+}
+
+func (l *lexer) nextIsDigit() bool {
+	rest := l.src[l.off:]
+	if len(rest) < 2 {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(rest[1:])
+	return unicode.IsDigit(r)
+}
+
+func (l *lexer) lexString(start Position) (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.advance()
+		switch r {
+		case 0, '\n':
+			return "", l.errorf(start, "unterminated string literal")
+		case '\\':
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return "", l.errorf(start, "unknown escape \\%c in string literal", esc)
+			}
+		case '"':
+			return b.String(), nil
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *lexer) lexNumber() string {
+	var b strings.Builder
+	if l.peek() == '-' {
+		b.WriteRune(l.advance())
+	}
+	for unicode.IsDigit(l.peek()) {
+		b.WriteRune(l.advance())
+	}
+	if l.peek() == '.' {
+		// Only part of the number if followed by a digit; otherwise it is the
+		// statement terminator.
+		rest := l.src[l.off:]
+		if len(rest) >= 2 {
+			r, _ := utf8.DecodeRuneInString(rest[1:])
+			if unicode.IsDigit(r) {
+				b.WriteRune(l.advance())
+				for unicode.IsDigit(l.peek()) {
+					b.WriteRune(l.advance())
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+func (l *lexer) lexIdent() string {
+	var b strings.Builder
+	for {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(l.advance())
+			continue
+		}
+		return b.String()
+	}
+}

@@ -1,0 +1,386 @@
+package cylog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
+)
+
+// Parse parses CyLog source text into a Program.
+//
+// Grammar (informal):
+//
+//	program     := { statement }
+//	statement   := declaration | rule | fact
+//	declaration := ["open"] "rel" ident "(" coldecl {"," coldecl} ")"
+//	                 ["key" "(" ident {"," ident} ")"]
+//	                 ["asks" string]
+//	                 ["scheme" string] "."
+//	coldecl     := ident ":" typename
+//	rule        := atom ":-" literal {"," literal} "."
+//	literal     := ["!"] atom | term cmp term
+//	fact        := ident "(" constant {"," constant} ")" "."
+//	atom        := ident "(" term {"," term} ")"
+//	term        := Variable | constant
+//	constant    := number | string | "true" | "false"
+//
+// Comments run from "//" or "#" to end of line.
+func Parse(src string) (*Program, error) {
+	toks, err := newLexer(src).tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+// MustParse is Parse but panics on error; intended for tests and embedded
+// program templates.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// ParseError is a syntax error with position information.
+type ParseError struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("cylog: %s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errorf(pos Position, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, p.errorf(t.pos, "expected %s, found %s %q", kind, t.kind, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch {
+		case t.kind == tokIdent && (t.text == "rel" || t.text == "open"):
+			d, err := p.parseDeclaration()
+			if err != nil {
+				return nil, err
+			}
+			if prog.DeclarationFor(d.Name) != nil {
+				return nil, p.errorf(d.Pos, "relation %q declared twice", d.Name)
+			}
+			prog.Declarations = append(prog.Declarations, d)
+		case t.kind == tokIdent:
+			stmt, err := p.parseRuleOrFact()
+			if err != nil {
+				return nil, err
+			}
+			switch s := stmt.(type) {
+			case *Rule:
+				prog.Rules = append(prog.Rules, s)
+			case *Fact:
+				prog.Facts = append(prog.Facts, s)
+			}
+		default:
+			return nil, p.errorf(t.pos, "expected a declaration, rule or fact, found %s %q", t.kind, t.text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseDeclaration() (*Declaration, error) {
+	start := p.cur()
+	d := &Declaration{Pos: start.pos}
+	if start.text == "open" {
+		d.Open = true
+		p.next()
+	}
+	kw := p.cur()
+	if kw.kind != tokIdent || kw.text != "rel" {
+		return nil, p.errorf(kw.pos, "expected 'rel', found %q", kw.text)
+	}
+	p.next()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		typTok := p.cur()
+		if typTok.kind != tokIdent {
+			return nil, p.errorf(typTok.pos, "expected a type name, found %q", typTok.text)
+		}
+		p.next()
+		typ, terr := relstore.ParseType(typTok.text)
+		if terr != nil {
+			return nil, p.errorf(typTok.pos, "unknown type %q", typTok.text)
+		}
+		for _, existing := range d.Columns {
+			if existing.Name == col.text {
+				return nil, p.errorf(col.pos, "duplicate column %q in relation %q", col.text, d.Name)
+			}
+		}
+		d.Columns = append(d.Columns, ColumnDecl{Name: col.text, Type: typ})
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	// Optional clauses: key(...), asks "...", scheme "..."
+	for p.cur().kind == tokIdent {
+		switch p.cur().text {
+		case "key":
+			p.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			for {
+				k, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if d.ColumnIndex(k.text) < 0 {
+					return nil, p.errorf(k.pos, "key column %q is not a column of %q", k.text, d.Name)
+				}
+				d.Key = append(d.Key, k.text)
+				if p.cur().kind == tokComma {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		case "asks":
+			p.next()
+			s, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			d.Prompt = s.text
+		case "scheme":
+			p.next()
+			s, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			scheme := strings.ToLower(s.text)
+			switch scheme {
+			case "sequential", "simultaneous", "hybrid", "individual":
+				d.Scheme = scheme
+			default:
+				return nil, p.errorf(s.pos, "unknown collaboration scheme %q", s.text)
+			}
+		default:
+			return nil, p.errorf(p.cur().pos, "unexpected %q in declaration (want key/asks/scheme or '.')", p.cur().text)
+		}
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	if !d.Open && (d.Prompt != "" || len(d.Key) > 0 || d.Scheme != "") {
+		return nil, p.errorf(d.Pos, "relation %q: key/asks/scheme clauses are only allowed on open relations", d.Name)
+	}
+	return d, nil
+}
+
+// parseRuleOrFact parses an atom and then decides: ":-" makes it a rule head,
+// "." makes it a fact (all terms must be constants).
+func (p *parser) parseRuleOrFact() (any, error) {
+	head, err := p.parseAtom(false)
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().kind {
+	case tokImplies:
+		p.next()
+		rule := &Rule{Head: head, Pos: head.Pos}
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			rule.Body = append(rule.Body, lit)
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		return rule, nil
+	case tokDot:
+		p.next()
+		fact := &Fact{Relation: head.Predicate, Pos: head.Pos}
+		for _, t := range head.Terms {
+			c, ok := t.(Constant)
+			if !ok {
+				return nil, p.errorf(head.Pos, "fact %s may only contain constants", head.Predicate)
+			}
+			fact.Values = append(fact.Values, c.Value)
+		}
+		return fact, nil
+	default:
+		t := p.cur()
+		return nil, p.errorf(t.pos, "expected ':-' or '.', found %s %q", t.kind, t.text)
+	}
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokBang:
+		p.next()
+		atom, err := p.parseAtom(true)
+		if err != nil {
+			return nil, err
+		}
+		return atom, nil
+	case tokIdent:
+		// Could be an atom or (rarely) a comparison starting with a constant;
+		// atoms always have '(' after the identifier.
+		if p.toks[p.i+1].kind == tokLParen {
+			return p.parseAtom(false)
+		}
+		return p.parseComparison()
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *parser) parseAtom(negated bool) (*Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	atom := &Atom{Predicate: name.text, Negated: negated, Pos: name.pos}
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		atom.Terms = append(atom.Terms, term)
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return atom, nil
+}
+
+func (p *parser) parseComparison() (*Comparison, error) {
+	start := p.cur().pos
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op CompareOp
+	switch opTok.kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	default:
+		return nil, p.errorf(opTok.pos, "expected a comparison operator, found %s %q", opTok.kind, opTok.text)
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Left: left, Op: op, Right: right, Pos: start}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVariable:
+		p.next()
+		return Variable(t.text), nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf(t.pos, "bad number %q", t.text)
+			}
+			return Constant{relstore.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf(t.pos, "bad number %q", t.text)
+		}
+		return Constant{relstore.Int(n)}, nil
+	case tokString:
+		p.next()
+		return Constant{relstore.String(t.text)}, nil
+	case tokIdent:
+		// true/false are boolean constants; other lower-case identifiers are
+		// symbol constants treated as strings (Datalog convention).
+		p.next()
+		switch t.text {
+		case "true":
+			return Constant{relstore.Bool(true)}, nil
+		case "false":
+			return Constant{relstore.Bool(false)}, nil
+		case "null":
+			return Constant{relstore.Null()}, nil
+		default:
+			return Constant{relstore.String(t.text)}, nil
+		}
+	default:
+		return nil, p.errorf(t.pos, "expected a term, found %s %q", t.kind, t.text)
+	}
+}

@@ -1,0 +1,241 @@
+package cylog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
+)
+
+const translationProgram = `
+// Video-subtitle translation project (Demo scenario 1).
+rel sentence(sid: int, text: string).
+rel worker(wid: string, lang: string).
+open rel translated(sid: int, text: string) key(sid) asks "Translate this subtitle line" scheme "sequential".
+open rel checked(sid: int, ok: bool) key(sid) asks "Is the translation correct?".
+
+rel eligible(wid: string, sid: int).
+rel final(sid: int, text: string).
+
+sentence(1, "Hello world").
+sentence(2, "Good morning").
+
+eligible(W, S) :- worker(W, "en"), sentence(S, _).
+final(S, T) :- translated(S, T), checked(S, true).
+`
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := newLexer(`foo(X, "str", 3, -2, 1.5) :- bar(X), X >= 2, X != 3. # comment`).tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{
+		tokIdent, tokLParen, tokVariable, tokComma, tokString, tokComma, tokNumber, tokComma,
+		tokNumber, tokComma, tokNumber, tokRParen, tokImplies, tokIdent, tokLParen, tokVariable,
+		tokRParen, tokComma, tokVariable, tokGe, tokNumber, tokComma, tokVariable, tokNe,
+		tokNumber, tokDot, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerStringEscapesAndErrors(t *testing.T) {
+	toks, err := newLexer(`x("a\nb\t\"c\\")`).tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].text != "a\nb\t\"c\\" {
+		t.Errorf("string = %q", toks[2].text)
+	}
+	if _, err := newLexer(`x("unterminated`).tokens(); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := newLexer(`x("bad \q escape")`).tokens(); err == nil {
+		t.Error("unknown escape should fail")
+	}
+	if _, err := newLexer("€").tokens(); err == nil {
+		t.Error("strange character should fail")
+	}
+}
+
+func TestLexerCommentsAndPositions(t *testing.T) {
+	src := "// line comment\n# another\nfoo(1)."
+	toks, err := newLexer(src).tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].pos.Line != 3 {
+		t.Errorf("first token = %v at %v", toks[0].text, toks[0].pos)
+	}
+}
+
+func TestParseTranslationProgram(t *testing.T) {
+	p, err := Parse(translationProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Declarations) != 6 || len(p.Facts) != 2 || len(p.Rules) != 2 {
+		t.Fatalf("decls=%d facts=%d rules=%d", len(p.Declarations), len(p.Facts), len(p.Rules))
+	}
+	tr := p.DeclarationFor("translated")
+	if tr == nil || !tr.Open || tr.Prompt != "Translate this subtitle line" || tr.Scheme != "sequential" {
+		t.Errorf("translated declaration = %+v", tr)
+	}
+	if len(tr.Key) != 1 || tr.Key[0] != "sid" {
+		t.Errorf("translated key = %v", tr.Key)
+	}
+	if !p.IsOpen("checked") || p.IsOpen("sentence") || p.IsOpen("missing") {
+		t.Error("IsOpen misbehaves")
+	}
+	if p.DeclarationFor("sentence").Schema().Arity() != 2 {
+		t.Error("schema arity mismatch")
+	}
+	// Facts parse constants with types.
+	f := p.Facts[0]
+	if f.Relation != "sentence" || !f.Values[0].Equal(relstore.Int(1)) {
+		t.Errorf("fact = %v", f)
+	}
+	// Round-trip: the printed program re-parses to the same shape.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, p.String())
+	}
+	if len(p2.Declarations) != len(p.Declarations) || len(p2.Rules) != len(p.Rules) || len(p2.Facts) != len(p.Facts) {
+		t.Error("round-trip changed program shape")
+	}
+}
+
+func TestParseRuleDetails(t *testing.T) {
+	p := MustParse(`
+rel a(x: int).
+rel b(x: int, y: float).
+rel c(x: int).
+c(X) :- a(X), b(X, Y), Y >= 0.5, !a(X), X != 3.
+`)
+	r := p.Rules[0]
+	if r.Head.Predicate != "c" || len(r.Body) != 5 {
+		t.Fatalf("rule = %v", r)
+	}
+	if a, ok := r.Body[3].(*Atom); !ok || !a.Negated {
+		t.Error("4th literal should be a negated atom")
+	}
+	if c, ok := r.Body[2].(*Comparison); !ok || c.Op != OpGe {
+		t.Error("3rd literal should be >= comparison")
+	}
+	if c, ok := r.Body[4].(*Comparison); !ok || c.Op != OpNe {
+		t.Error("5th literal should be != comparison")
+	}
+	if !strings.Contains(r.String(), ":-") {
+		t.Error("rule should render with :-")
+	}
+}
+
+func TestParseSymbolConstantsAndBooleans(t *testing.T) {
+	p := MustParse(`
+rel lang(code: string).
+rel flag(ok: bool).
+lang(en).
+lang("ja").
+flag(true).
+flag(false).
+`)
+	if len(p.Facts) != 4 {
+		t.Fatalf("facts = %d", len(p.Facts))
+	}
+	if !p.Facts[0].Values[0].Equal(relstore.String("en")) {
+		t.Errorf("symbol constant = %v", p.Facts[0].Values[0])
+	}
+	if !p.Facts[2].Values[0].Equal(relstore.Bool(true)) {
+		t.Errorf("bool constant = %v", p.Facts[2].Values[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing dot", `rel a(x: int)`},
+		{"bad type", `rel a(x: blob).`},
+		{"duplicate column", `rel a(x: int, x: int).`},
+		{"duplicate relation", "rel a(x: int).\nrel a(y: int)."},
+		{"key on closed relation", `rel a(x: int) key(x).`},
+		{"asks on closed relation", `rel a(x: int) asks "q".`},
+		{"key of unknown column", `open rel a(x: int) key(y).`},
+		{"bad scheme", `open rel a(x: int) scheme "teleportation".`},
+		{"fact with variable", `rel a(x: int). a(X).`},
+		{"rule missing body", `rel a(x: int). a(X) :- .`},
+		{"rule missing dot", `rel a(x: int). rel b(x: int). a(X) :- b(X)`},
+		{"garbage", `42.`},
+		{"unclosed paren", `rel a(x: int). a(1`},
+		{"bad operator", `rel a(x: int). rel b(x: int). a(X) :- b(X), X ~ 3.`},
+		{"unexpected clause", `open rel a(x: int) wat "x".`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("rel a(")
+}
+
+func TestParseErrorMessageHasPosition(t *testing.T) {
+	_, err := Parse("rel a(x: int).\nbroken(")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should mention line 2: %v", err)
+	}
+}
+
+func TestDeclarationHelpers(t *testing.T) {
+	p := MustParse(`open rel t(sid: int, text: string) key(sid) asks "q".`)
+	d := p.Declarations[0]
+	if d.ColumnIndex("text") != 1 || d.ColumnIndex("zzz") != -1 {
+		t.Error("ColumnIndex misbehaves")
+	}
+	s := d.String()
+	if !strings.Contains(s, "open rel t") || !strings.Contains(s, `asks "q"`) || !strings.Contains(s, "key(sid)") {
+		t.Errorf("String() = %q", s)
+	}
+	if Position(d.Pos).String() != "1:1" {
+		t.Errorf("Pos = %v", d.Pos)
+	}
+}
+
+func TestAtomAndComparisonVariables(t *testing.T) {
+	p := MustParse(`
+rel a(x: int, y: int).
+rel b(x: int).
+b(X) :- a(X, Y), X < Y, a(X, 3).
+`)
+	r := p.Rules[0]
+	if vars := r.Body[0].(*Atom).Variables(); len(vars) != 2 {
+		t.Errorf("atom vars = %v", vars)
+	}
+	if vars := r.Body[1].(*Comparison).Variables(); len(vars) != 2 {
+		t.Errorf("comparison vars = %v", vars)
+	}
+	if vars := r.Body[2].(*Atom).Variables(); len(vars) != 1 {
+		t.Errorf("constant atom vars = %v", vars)
+	}
+}

@@ -1,0 +1,226 @@
+// Package metrics provides the small statistics and table-rendering helpers
+// the experiment harness uses to print paper-style result tables (see
+// EXPERIMENTS.md).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	P50    float64
+	P95    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample returns a zero
+// summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(len(xs)))
+	s.P50 = Percentile(xs, 0.50)
+	s.P95 = Percentile(xs, 0.95)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the sample using
+// nearest-rank interpolation. An empty sample returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Ratio returns a/b, or 0 when b is 0; used for speedups and quality ratios.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// DurationsToSeconds converts durations to float seconds for summarising.
+func DurationsToSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Table is a simple experiment-result table rendered as aligned text or
+// Markdown; every experiment in EXPERIMENTS.md prints one or more of these.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are rendered with %v, floats with 3 decimals
+// and durations in a human-friendly unit.
+func (t *Table) AddRow(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = renderCell(c)
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// AddNote appends a footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...any) *Table {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+func renderCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		return fmt.Sprintf("%.3f", v)
+	case float32:
+		return fmt.Sprintf("%.3f", v)
+	case time.Duration:
+		switch {
+		case v >= time.Second:
+			return fmt.Sprintf("%.2fs", v.Seconds())
+		case v >= time.Millisecond:
+			return fmt.Sprintf("%.2fms", float64(v.Microseconds())/1000)
+		default:
+			return fmt.Sprintf("%dµs", v.Microseconds())
+		}
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown writes the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P95 < 4.5 || s.P95 > 5 {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 1) != 40 {
+		t.Error("extreme percentiles wrong")
+	}
+	if p := Percentile(xs, 0.5); p != 25 {
+		t.Errorf("median = %v, want 25", p)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Percentile must not mutate the input.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 {
+		t.Error("input was sorted in place")
+	}
+}
+
+func TestPercentilePropertyWithinBounds(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255
+		v := Percentile(xs, p)
+		s := Summarize(xs)
+		return v >= s.Min-1e-9 && v <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean wrong")
+	}
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("Ratio wrong")
+	}
+}
+
+func TestDurationsToSeconds(t *testing.T) {
+	out := DurationsToSeconds([]time.Duration{time.Second, 500 * time.Millisecond})
+	if len(out) != 2 || out[0] != 1 || out[1] != 0.5 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("E3: assignment algorithms", "algorithm", "n", "affinity", "time")
+	tbl.AddRow("greedy", 100, 0.81234, 15*time.Millisecond)
+	tbl.AddRow("exact", 12, 0.95, 2*time.Second)
+	tbl.AddRow("random", 100, 0.4, 150*time.Microsecond)
+	tbl.AddNote("exact limited to %d candidates", 24)
+
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "E3: assignment algorithms") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "0.812") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "15.00ms") || !strings.Contains(out, "2.00s") || !strings.Contains(out, "150µs") {
+		t.Errorf("duration formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "note: exact limited to 24 candidates") {
+		t.Error("note missing")
+	}
+	// Header separator row present and aligned.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("Speedups", "mode", "speedup")
+	tbl.AddRow("semi-naive", 2.5)
+	tbl.AddNote("relative to naive")
+	var buf bytes.Buffer
+	tbl.Markdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "### Speedups") || !strings.Contains(out, "| mode | speedup |") {
+		t.Errorf("markdown output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "*relative to naive*") {
+		t.Errorf("markdown output wrong:\n%s", out)
+	}
+}
+
+func TestRenderCellKinds(t *testing.T) {
+	if renderCell(float32(1.5)) != "1.500" {
+		t.Error("float32 formatting")
+	}
+	if renderCell("x") != "x" || renderCell(7) != "7" {
+		t.Error("default formatting")
+	}
+	if pad("ab", 4) != "ab  " || pad("abcd", 2) != "abcd" {
+		t.Error("pad wrong")
+	}
+}

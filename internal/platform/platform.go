@@ -1,0 +1,612 @@
+// Package platform implements the Crowd4U orchestrator: it wires the CyLog
+// processor, the project manager, the worker manager, the task pool and the
+// task assignment controller together (Figure 2) and drives the deployment
+// process of Figure 1 — task decomposition, task assignment and task
+// completion with result coordination.
+//
+// The package is deliberately free of any web or simulation concerns: the web
+// UI (internal/webui) and the simulated crowd (internal/crowdsim) plug into it
+// through small interfaces.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/assign"
+	"github.com/crowd4u/crowd4u-go/internal/collab"
+	"github.com/crowd4u/crowd4u-go/internal/cylog"
+	"github.com/crowd4u/crowd4u-go/internal/project"
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// InterestProvider models step 3 of Figure 2: workers see the tasks they are
+// eligible for on their user pages and declare interest in some of them.
+type InterestProvider interface {
+	DeclareInterest(taskID task.ID, eligible []worker.ID) []worker.ID
+}
+
+// AcceptanceModel decides whether a suggested team member actually undertakes
+// the task before the deadline.
+type AcceptanceModel interface {
+	WillUndertake(id worker.ID, taskID task.ID) bool
+}
+
+// Event is one platform-level occurrence kept in the audit log.
+type Event struct {
+	At      time.Time
+	Kind    string // "project-registered", "task-generated", "task-assigned", "task-completed", "infeasible", "reassigned"
+	Project project.ID
+	Task    task.ID
+	Message string
+}
+
+// Platform is the Crowd4U system instance.
+type Platform struct {
+	Workers    *worker.Manager
+	Tasks      *task.Pool
+	Projects   *project.Registry
+	Controller *assign.Controller
+
+	mu      sync.Mutex
+	engines map[project.ID]*cylog.Engine
+	// requestTask maps a CyLog open-request id to the task generated for it,
+	// and taskRequest the reverse, so results can be fed back into the engine.
+	requestTask map[string]task.ID
+	taskRequest map[task.ID]requestRef
+	events      []Event
+	nowFn       func() time.Time
+}
+
+type requestRef struct {
+	project project.ID
+	request cylog.OpenRequest
+}
+
+// New creates an empty platform.
+func New() *Platform {
+	workers := worker.NewManager()
+	pool := task.NewPool()
+	return &Platform{
+		Workers:     workers,
+		Tasks:       pool,
+		Projects:    project.NewRegistry(),
+		Controller:  assign.NewController(workers, pool),
+		engines:     make(map[project.ID]*cylog.Engine),
+		requestTask: make(map[string]task.ID),
+		taskRequest: make(map[task.ID]requestRef),
+		nowFn:       time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests and deterministic experiments).
+func (p *Platform) SetClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nowFn = now
+	p.Projects.SetClock(now)
+	p.Workers.SetClock(now)
+	p.Controller.SetClock(now)
+}
+
+func (p *Platform) now() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nowFn()
+}
+
+func (p *Platform) record(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e.At = p.nowFn()
+	p.events = append(p.events, e)
+}
+
+// Events returns a copy of the platform event log.
+func (p *Platform) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// Engine returns the CyLog engine of a project (nil when the project has no
+// CyLog description).
+func (p *Platform) Engine(id project.ID) *cylog.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engines[id]
+}
+
+// RegisterProject validates and registers a project description; when the
+// project has a CyLog source, its engine is created and its program facts
+// loaded (step 1 of Figure 2: "for each submitted project description, an
+// administration page for the project is generated").
+func (p *Platform) RegisterProject(d project.Description) (*project.Admin, error) {
+	admin, err := p.Projects.Register(d)
+	if err != nil {
+		return nil, err
+	}
+	id := admin.Description.ID
+	if d.CyLogSource != "" {
+		prog, err := cylog.Parse(d.CyLogSource)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cylog.NewEngine(prog)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.engines[id] = eng
+		p.mu.Unlock()
+	}
+	p.record(Event{Kind: "project-registered", Project: id, Message: admin.Description.Name})
+	return admin, nil
+}
+
+// SetAssignmentAlgorithm selects the team-formation algorithm used by the
+// assignment controller (the project admin form can request one by name).
+func (p *Platform) SetAssignmentAlgorithm(name string) error {
+	algo := assign.Registry(name)
+	if algo == nil {
+		return fmt.Errorf("platform: unknown assignment algorithm %q", name)
+	}
+	p.Controller.SetAlgorithm(algo)
+	return nil
+}
+
+// AddComplexTask registers a complex task for the project and decomposes it
+// into micro-tasks with the given decomposer (Figure 1, first step). The
+// parent task is recorded for provenance but only the micro-tasks enter the
+// open pool. It returns the micro-tasks.
+func (p *Platform) AddComplexTask(projectID project.ID, parent *task.Task, d task.Decomposer) ([]*task.Task, error) {
+	admin, ok := p.Projects.Get(projectID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", project.ErrUnknownProject, projectID)
+	}
+	parent.ProjectID = string(projectID)
+	if parent.ID == "" {
+		parent.ID = p.Tasks.NextID("complex")
+	}
+	if err := p.Tasks.Register(parent); err != nil {
+		return nil, err
+	}
+	micro, err := d.Decompose(parent, func() task.ID { return p.Tasks.NextID("micro") })
+	if err != nil {
+		return nil, err
+	}
+	now := p.now()
+	for _, m := range micro {
+		// Micro-tasks inherit the project's desired human factors unless the
+		// decomposer already set stricter ones.
+		if m.Constraints.RecruitmentDeadline.IsZero() {
+			c := admin.TaskConstraints(now)
+			region := m.Constraints.Region
+			m.Constraints = c
+			if region != "" {
+				m.Constraints.Region = region
+			}
+		}
+		if err := p.registerTask(projectID, m); err != nil {
+			return nil, err
+		}
+	}
+	// The parent itself is not assignable; mark it assigned-for-tracking.
+	parent.SetState(task.StateInProgress) //nolint:errcheck // fresh task, transition cannot fail
+	return micro, nil
+}
+
+// AddTask registers a single ready-made task for the project.
+func (p *Platform) AddTask(projectID project.ID, t *task.Task) error {
+	if _, ok := p.Projects.Get(projectID); !ok {
+		return fmt.Errorf("%w: %s", project.ErrUnknownProject, projectID)
+	}
+	if t.ID == "" {
+		t.ID = p.Tasks.NextID("task")
+	}
+	t.ProjectID = string(projectID)
+	return p.registerTask(projectID, t)
+}
+
+func (p *Platform) registerTask(projectID project.ID, t *task.Task) error {
+	if err := p.Tasks.Register(t); err != nil {
+		return err
+	}
+	p.ComputeEligibility(t)
+	p.record(Event{Kind: "task-generated", Project: projectID, Task: t.ID, Message: t.Title})
+	return nil
+}
+
+// GenerateTasksFromCyLog runs the project's CyLog engine and converts every
+// pending open request into a task in the pool ("the rules describing tasks
+// and their dependency are interpreted and executed by the CyLog processor,
+// which dynamically generates and registers tasks into the task pool"). It
+// returns the newly generated tasks.
+func (p *Platform) GenerateTasksFromCyLog(projectID project.ID) ([]*task.Task, error) {
+	admin, ok := p.Projects.Get(projectID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", project.ErrUnknownProject, projectID)
+	}
+	eng := p.Engine(projectID)
+	if eng == nil {
+		return nil, fmt.Errorf("platform: project %s has no CyLog description", projectID)
+	}
+	requests, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	now := p.now()
+	var created []*task.Task
+	for _, req := range requests {
+		p.mu.Lock()
+		_, exists := p.requestTask[req.ID]
+		p.mu.Unlock()
+		if exists {
+			continue
+		}
+		scheme := task.CollaborationScheme(req.Scheme)
+		if scheme == "" {
+			scheme = task.Individual
+		}
+		t := task.NewTask(p.Tasks.NextID("cylog"), string(projectID), taskTitleFor(req), scheme, admin.TaskConstraints(now))
+		t.GeneratedBy = "cylog:" + req.ID
+		t.Description = req.Prompt
+		t.Form = formFor(req)
+		for i, col := range req.KeyColumns {
+			t.Input[col] = req.KeyValues[i].AsString()
+		}
+		if err := p.registerTask(projectID, t); err != nil {
+			return created, err
+		}
+		p.mu.Lock()
+		p.requestTask[req.ID] = t.ID
+		p.taskRequest[t.ID] = requestRef{project: projectID, request: req}
+		p.mu.Unlock()
+		created = append(created, t)
+	}
+	return created, nil
+}
+
+func taskTitleFor(req cylog.OpenRequest) string {
+	if req.Prompt != "" {
+		return req.Prompt
+	}
+	return "Provide " + req.Relation
+}
+
+// formFor builds the form-based task UI for an open request: one field per
+// open column, text areas for strings and a yes/no select for booleans.
+func formFor(req cylog.OpenRequest) task.Form {
+	var fields []task.Field
+	for _, col := range req.OpenColumns {
+		if looksBoolean(col) {
+			fields = append(fields, task.Field{
+				Name: col, Label: col, Kind: task.FieldSelect, Required: true, Options: []string{"yes", "no"},
+			})
+			continue
+		}
+		fields = append(fields, task.Field{Name: col, Label: col, Kind: task.FieldTextArea, Required: true})
+	}
+	return task.Form{Fields: fields}
+}
+
+func looksBoolean(col string) bool {
+	col = strings.ToLower(col)
+	return col == "ok" || col == "confirmed" || col == "valid" || strings.HasPrefix(col, "is_") || strings.HasSuffix(col, "_ok")
+}
+
+// ComputeEligibility evaluates the task's constraint-derived eligibility rule
+// over all registered workers and records the Eligible relationship — the
+// platform-side realisation of "this is computed by the CyLog processor using
+// the project description and worker human factors".
+func (p *Platform) ComputeEligibility(t *task.Task) []worker.ID {
+	return p.Workers.ComputeEligibility(string(t.ID), EligibilityRule(t.Constraints))
+}
+
+// EligibilityRule compiles task constraints into a worker predicate.
+func EligibilityRule(c task.Constraints) worker.EligibilityRule {
+	return func(w *worker.Worker) bool {
+		if c.RequireLogin && !w.LoggedIn {
+			return false
+		}
+		if c.RequireNativeLanguage != "" && !w.Factors.SpeaksNatively(c.RequireNativeLanguage) {
+			return false
+		}
+		for _, lang := range c.RequiredLanguages {
+			if !w.Factors.Speaks(lang) {
+				return false
+			}
+		}
+		if c.Region != "" && !strings.EqualFold(w.Factors.Location.Region, c.Region) {
+			return false
+		}
+		if c.RequiredSkill != "" && w.Factors.Skill(c.RequiredSkill) < c.MinSkill {
+			return false
+		}
+		return true
+	}
+}
+
+// CollectInterest shows every open task to its eligible workers through the
+// interest provider and records the declared interest. It returns the number
+// of (task, worker) interest pairs recorded.
+func (p *Platform) CollectInterest(provider InterestProvider) int {
+	total := 0
+	for _, t := range p.Tasks.InState(task.StateOpen) {
+		eligible := p.Workers.WorkersWith(worker.Eligible, string(t.ID))
+		total += len(provider.DeclareInterest(t.ID, eligible))
+	}
+	return total
+}
+
+// AssignOpenTasks runs the assignment controller over every open task.
+// Infeasible tasks produce an "action-required" notice on the project admin
+// page, implementing "if none of the possible teams satisfying human factors
+// accepts the task, Crowd4U suggests to the requester to update her input."
+func (p *Platform) AssignOpenTasks() map[task.ID]assign.Team {
+	out := make(map[task.ID]assign.Team)
+	for _, t := range p.Tasks.InState(task.StateOpen) {
+		team, ok, err := p.Controller.TryAssign(t)
+		switch {
+		case err != nil && errors.Is(err, assign.ErrInfeasible):
+			p.Projects.Notify(project.ID(t.ProjectID), "action-required",
+				fmt.Sprintf("task %s: no feasible team for the requested human factors; please relax the constraints", t.ID)) //nolint:errcheck
+			p.record(Event{Kind: "infeasible", Project: project.ID(t.ProjectID), Task: t.ID})
+		case ok:
+			out[t.ID] = team
+			p.record(Event{Kind: "task-assigned", Project: project.ID(t.ProjectID), Task: t.ID,
+				Message: fmt.Sprintf("team of %d, affinity %.3f", team.Size(), team.Affinity)})
+		}
+	}
+	return out
+}
+
+// ConfirmTeams asks every member of every suggested team whether they
+// undertake the task. Teams where some member declines are re-assigned
+// immediately; teams where everyone accepts move to in-progress. It returns
+// the tasks that became in-progress.
+func (p *Platform) ConfirmTeams(acceptance AcceptanceModel) []*task.Task {
+	var started []*task.Task
+	for _, t := range p.Tasks.InState(task.StateAssigned) {
+		team, ok := p.Controller.Suggestion(t.ID)
+		if !ok {
+			continue
+		}
+		allAccept := true
+		for _, m := range team.Members {
+			if acceptance != nil && !acceptance.WillUndertake(m, t.ID) {
+				allAccept = false
+				break
+			}
+		}
+		if !allAccept {
+			p.record(Event{Kind: "reassigned", Project: project.ID(t.ProjectID), Task: t.ID})
+			p.Controller.Reassign(t) //nolint:errcheck // failure recorded by controller events
+			continue
+		}
+		for _, m := range team.Members {
+			if _, err := p.Controller.ConfirmUndertake(t, m); err != nil {
+				allAccept = false
+				break
+			}
+		}
+		if allAccept && t.State() == task.StateInProgress {
+			started = append(started, t)
+		}
+	}
+	return started
+}
+
+// ExecuteInProgress runs the appropriate collaboration scheme for every
+// in-progress task using the given WorkerIO, records the team result,
+// updates worker skill estimates, and feeds CyLog-generated answers back to
+// the project's engine. It returns the completed tasks.
+func (p *Platform) ExecuteInProgress(io collab.WorkerIO) ([]*task.Task, error) {
+	var completed []*task.Task
+	for _, t := range p.Tasks.InState(task.StateInProgress) {
+		team, ok := p.Controller.Suggestion(t.ID)
+		if !ok {
+			continue
+		}
+		if ctx, hasCtx := io.(interface {
+			SetTeamContext(task.ID, float64)
+		}); hasCtx {
+			ctx.SetTeamContext(t.ID, team.Affinity)
+		}
+		scheme := collab.ForTask(t)
+		outcome, err := scheme.Run(t, team.Members, io)
+		if err != nil {
+			return completed, fmt.Errorf("platform: executing task %s: %w", t.ID, err)
+		}
+		if err := t.Complete(outcome.Result); err != nil {
+			return completed, err
+		}
+		// Skill learning: each member's estimate is updated with the team
+		// outcome quality for the task's required skill.
+		skill := t.Constraints.RequiredSkill
+		if skill == "" {
+			skill = string(t.Scheme)
+		}
+		for _, m := range team.Members {
+			p.Workers.RecordCompletion(m, skill, outcome.Quality()) //nolint:errcheck // unknown workers cannot be on a team
+		}
+		p.Workers.ClearTask(string(t.ID))
+		p.feedResultToCyLog(t, outcome.Result)
+		p.record(Event{Kind: "task-completed", Project: project.ID(t.ProjectID), Task: t.ID,
+			Message: fmt.Sprintf("quality %.2f by %s", outcome.Quality(), outcome.Result.TeamID)})
+		completed = append(completed, t)
+	}
+	return completed, nil
+}
+
+// feedResultToCyLog answers the open request that generated the task, if any.
+func (p *Platform) feedResultToCyLog(t *task.Task, result *task.Result) {
+	p.mu.Lock()
+	ref, ok := p.taskRequest[t.ID]
+	eng := p.engines[ref.project]
+	p.mu.Unlock()
+	if !ok || eng == nil || result == nil {
+		return
+	}
+	answer := make(map[string]any, len(ref.request.OpenColumns))
+	for _, col := range ref.request.OpenColumns {
+		raw, present := result.Fields[col]
+		if !present {
+			raw = result.Fields["text"]
+		}
+		answer[col] = convertAnswer(col, raw)
+	}
+	if err := eng.Answer(ref.request.ID, answer); err != nil {
+		// The request may already have been answered (e.g. AnswerFact); keep a
+		// trace but do not fail the completion.
+		p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: t.ID, Message: err.Error()})
+	}
+}
+
+// convertAnswer maps a form answer string onto a Go value suitable for the
+// open relation's schema: yes/no and true/false become booleans, everything
+// else stays a string (relstore coercion handles numbers).
+func convertAnswer(col, raw string) any {
+	lower := strings.ToLower(strings.TrimSpace(raw))
+	if looksBoolean(col) || lower == "yes" || lower == "no" || lower == "true" || lower == "false" {
+		return lower == "yes" || lower == "true"
+	}
+	return raw
+}
+
+// SweepDeadlines re-executes assignment for assigned tasks whose recruitment
+// deadline has passed and marks overdue open tasks expired.
+func (p *Platform) SweepDeadlines() (reassigned []task.ID, expired []*task.Task) {
+	now := p.now()
+	reassigned = p.Controller.SweepDeadlines(now)
+	expired = p.Tasks.ExpireOverdue(now)
+	return reassigned, expired
+}
+
+// CycleReport summarises one full deployment cycle.
+type CycleReport struct {
+	GeneratedTasks  int
+	InterestPairs   int
+	AssignedTasks   int
+	InfeasibleTasks int
+	StartedTasks    int
+	CompletedTasks  int
+	MeanQuality     float64
+	MeanTeamSize    float64
+	MeanAffinity    float64
+}
+
+// Crowd bundles the three capabilities a simulated (or real) crowd must offer
+// to drive a full cycle.
+type Crowd interface {
+	InterestProvider
+	AcceptanceModel
+	collab.WorkerIO
+}
+
+// RunCycle performs one full deployment cycle of Figure 1 for every active
+// project: CyLog task generation, eligibility, interest collection, team
+// assignment, undertake confirmation, collaborative execution and result
+// recording. Repeated calls converge as CyLog programs stop generating new
+// requests.
+func (p *Platform) RunCycle(crowd Crowd) (CycleReport, error) {
+	report := CycleReport{}
+	for _, admin := range p.Projects.All() {
+		if admin.Status != project.StatusActive {
+			continue
+		}
+		if p.Engine(admin.Description.ID) == nil {
+			continue
+		}
+		created, err := p.GenerateTasksFromCyLog(admin.Description.ID)
+		if err != nil {
+			return report, err
+		}
+		report.GeneratedTasks += len(created)
+	}
+
+	report.InterestPairs = p.CollectInterest(crowd)
+
+	teams := p.AssignOpenTasks()
+	report.AssignedTasks = len(teams)
+	var affinities, sizes []float64
+	for _, team := range teams {
+		affinities = append(affinities, team.Affinity)
+		sizes = append(sizes, float64(team.Size()))
+	}
+	report.MeanAffinity = mean(affinities)
+	report.MeanTeamSize = mean(sizes)
+
+	started := p.ConfirmTeams(crowd)
+	report.StartedTasks = len(started)
+
+	completed, err := p.ExecuteInProgress(crowd)
+	if err != nil {
+		return report, err
+	}
+	report.CompletedTasks = len(completed)
+	var qualities []float64
+	for _, t := range completed {
+		if r := t.Result(); r != nil {
+			qualities = append(qualities, r.Quality)
+		}
+	}
+	report.MeanQuality = mean(qualities)
+
+	for _, e := range p.Events() {
+		if e.Kind == "infeasible" {
+			report.InfeasibleTasks++
+		}
+	}
+	return report, nil
+}
+
+// RunUntilQuiescent repeatedly runs deployment cycles until a cycle generates,
+// assigns and completes nothing (or maxCycles is hit). It returns the
+// per-cycle reports.
+func (p *Platform) RunUntilQuiescent(crowd Crowd, maxCycles int) ([]CycleReport, error) {
+	if maxCycles <= 0 {
+		maxCycles = 50
+	}
+	var reports []CycleReport
+	for i := 0; i < maxCycles; i++ {
+		r, err := p.RunCycle(crowd)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, r)
+		if r.GeneratedTasks == 0 && r.AssignedTasks == 0 && r.StartedTasks == 0 && r.CompletedTasks == 0 {
+			break
+		}
+	}
+	return reports, nil
+}
+
+// CompletedResults returns the recorded results of all completed tasks of a
+// project, ordered by task id.
+func (p *Platform) CompletedResults(projectID project.ID) []*task.Result {
+	var out []*task.Result
+	for _, t := range p.Tasks.ByProject(string(projectID)) {
+		if t.State() == task.StateCompleted && t.Result() != nil {
+			out = append(out, t.Result())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,141 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is a named collection of relations. It is the unit the CyLog engine
+// and the Crowd4U platform operate on. All methods are safe for concurrent
+// use; individual relations carry their own finer-grained locks.
+type Database struct {
+	mu        sync.RWMutex
+	relations map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation)}
+}
+
+// Create adds a new empty relation. It returns an error if a relation with the
+// same name already exists.
+func (d *Database) Create(name string, schema *Schema) (*Relation, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.relations[name]; exists {
+		return nil, fmt.Errorf("relstore: relation %q already exists", name)
+	}
+	r := NewRelation(name, schema)
+	d.relations[name] = r
+	return r, nil
+}
+
+// MustCreate is Create but panics on error; for static setup code and tests.
+func (d *Database) MustCreate(name string, schema *Schema) *Relation {
+	r, err := d.Create(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// GetOrCreate returns the named relation, creating it with the given schema
+// when absent. It returns an error if the relation exists with a different
+// schema.
+func (d *Database) GetOrCreate(name string, schema *Schema) (*Relation, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, exists := d.relations[name]; exists {
+		if !r.Schema().Equal(schema) {
+			return nil, fmt.Errorf("relstore: relation %q exists with schema %s, requested %s", name, r.Schema(), schema)
+		}
+		return r, nil
+	}
+	r := NewRelation(name, schema)
+	d.relations[name] = r
+	return r, nil
+}
+
+// Relation returns the named relation, or nil when absent.
+func (d *Database) Relation(name string) *Relation {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.relations[name]
+}
+
+// Has reports whether the named relation exists.
+func (d *Database) Has(name string) bool { return d.Relation(name) != nil }
+
+// Drop removes the named relation. It reports whether a relation was removed.
+func (d *Database) Drop(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.relations[name]; !exists {
+		return false
+	}
+	delete(d.relations, name)
+	return true
+}
+
+// Names returns the sorted names of all relations.
+func (d *Database) Names() []string {
+	d.mu.RLock()
+	out := make([]string, 0, len(d.relations))
+	for name := range d.relations {
+		out = append(out, name)
+	}
+	d.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// TotalTuples returns the total number of tuples across all relations.
+func (d *Database) TotalTuples() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Snapshot returns a deep copy of the database. Snapshots let the platform
+// run what-if assignment rounds and let tests assert on intermediate states.
+func (d *Database) Snapshot() *Database {
+	d.mu.RLock()
+	rels := make([]*Relation, 0, len(d.relations))
+	for _, r := range d.relations {
+		rels = append(rels, r)
+	}
+	d.mu.RUnlock()
+
+	s := NewDatabase()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range rels {
+		s.relations[r.Name()] = r.Clone()
+	}
+	return s
+}
+
+// Restore replaces the database contents with those of the snapshot.
+func (d *Database) Restore(snapshot *Database) {
+	copyOf := snapshot.Snapshot()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copyOf.mu.RLock()
+	defer copyOf.mu.RUnlock()
+	d.relations = make(map[string]*Relation, len(copyOf.relations))
+	for name, r := range copyOf.relations {
+		d.relations[name] = r
+	}
+}
+
+// String summarises the database.
+func (d *Database) String() string {
+	names := d.Names()
+	return fmt.Sprintf("Database[%d relations: %v, %d tuples]", len(names), names, d.TotalTuples())
+}

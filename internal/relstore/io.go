@@ -1,0 +1,200 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ExportCSV writes the relation to w as CSV with a header row of column names.
+// Tuples are written in deterministic order.
+func ExportCSV(r *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Names()); err != nil {
+		return err
+	}
+	for _, t := range r.All() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = v.AsString()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads CSV rows from rd into the relation. When header is true the
+// first row is treated as column names and used to reorder fields to match the
+// schema; otherwise fields must appear in schema order. It returns the number
+// of newly inserted tuples.
+func ImportCSV(r *Relation, rd io.Reader, header bool) (int, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1
+	order := make([]int, r.Schema().Arity())
+	for i := range order {
+		order[i] = i
+	}
+	first := true
+	added := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return added, err
+		}
+		if first && header {
+			first = false
+			for i, name := range rec {
+				if i < len(order) {
+					ci := r.Schema().ColumnIndex(name)
+					if ci < 0 {
+						return added, fmt.Errorf("relstore: CSV header column %q not in schema %s", name, r.Schema())
+					}
+					order[i] = ci
+				}
+			}
+			continue
+		}
+		first = false
+		if len(rec) != r.Schema().Arity() {
+			return added, fmt.Errorf("relstore: CSV row has %d fields, schema %s expects %d", len(rec), r.Schema(), r.Schema().Arity())
+		}
+		t := make(Tuple, r.Schema().Arity())
+		for i, field := range rec {
+			t[order[i]] = parseField(field, r.Schema().Column(order[i]).Type)
+		}
+		ok, err := r.Insert(t)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+func parseField(s string, t Type) Value {
+	if s == "" {
+		return Null()
+	}
+	switch t {
+	case TypeInt:
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return Int(n)
+		}
+	case TypeFloat:
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return Float(f)
+		}
+	case TypeBool:
+		if b, err := strconv.ParseBool(s); err == nil {
+			return Bool(b)
+		}
+	}
+	return String(s)
+}
+
+// relationJSON is the wire format used by ExportJSON/ImportJSON.
+type relationJSON struct {
+	Name    string           `json:"name"`
+	Columns []columnJSON     `json:"columns"`
+	Rows    [][]any          `json:"rows"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// ExportJSON writes the relation (schema + rows) to w as JSON.
+func ExportJSON(r *Relation, w io.Writer) error {
+	out := relationJSON{Name: r.Name()}
+	for _, c := range r.Schema().Columns() {
+		out.Columns = append(out.Columns, columnJSON{Name: c.Name, Type: c.Type.String()})
+	}
+	for _, t := range r.All() {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = valueToJSON(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func valueToJSON(v Value) any {
+	switch v.Type() {
+	case TypeNull:
+		return nil
+	case TypeInt:
+		n, _ := v.AsInt()
+		return n
+	case TypeFloat:
+		f, _ := v.AsFloat()
+		return f
+	case TypeBool:
+		b, _ := v.AsBool()
+		return b
+	default:
+		return v.AsString()
+	}
+}
+
+// ImportJSON reads a relation previously written by ExportJSON into the
+// database, creating the relation if needed. It returns the relation.
+func ImportJSON(d *Database, rd io.Reader) (*Relation, error) {
+	var in relationJSON
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, err
+	}
+	cols := make([]Column, 0, len(in.Columns))
+	for _, c := range in.Columns {
+		t, err := ParseType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, Column{Name: c.Name, Type: t})
+	}
+	rel, err := d.GetOrCreate(in.Name, NewSchema(cols...))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range in.Rows {
+		t := make(Tuple, len(row))
+		for i, cell := range row {
+			t[i] = jsonToValue(cell)
+		}
+		if _, err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func jsonToValue(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null()
+	case float64:
+		if t == float64(int64(t)) {
+			return Int(int64(t))
+		}
+		return Float(t)
+	case bool:
+		return Bool(t)
+	case string:
+		return String(t)
+	default:
+		return String(fmt.Sprint(t))
+	}
+}

@@ -1,0 +1,195 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Join computes the natural join of two relations: tuples are combined when
+// every commonly named column is equal. The result schema is the left schema
+// followed by the right columns that are not shared. The join uses a hash join
+// on the shared columns.
+func Join(left, right *Relation) ([]Tuple, *Schema, error) {
+	ls, rs := left.Schema(), right.Schema()
+
+	// Determine shared columns and the right-only columns.
+	var sharedL, sharedR []int
+	var rightOnly []int
+	for i := 0; i < rs.Arity(); i++ {
+		name := rs.Column(i).Name
+		if li := ls.ColumnIndex(name); li >= 0 {
+			sharedL = append(sharedL, li)
+			sharedR = append(sharedR, i)
+		} else {
+			rightOnly = append(rightOnly, i)
+		}
+	}
+
+	outCols := ls.Columns()
+	for _, ri := range rightOnly {
+		outCols = append(outCols, rs.Column(ri))
+	}
+	outSchema := NewSchema(outCols...)
+
+	// With no shared columns the natural join degenerates to a cross product.
+	leftRows := left.All()
+	rightRows := right.All()
+
+	var out []Tuple
+	if len(sharedL) == 0 {
+		for _, lt := range leftRows {
+			for _, rt := range rightRows {
+				out = append(out, combineJoined(lt, rt, rightOnly))
+			}
+		}
+		return dedupe(out), outSchema, nil
+	}
+
+	// Hash the right side on the shared key.
+	buckets := make(map[string][]Tuple, len(rightRows))
+	for _, rt := range rightRows {
+		k := rt.Project(sharedR...).Key()
+		buckets[k] = append(buckets[k], rt)
+	}
+	for _, lt := range leftRows {
+		k := lt.Project(sharedL...).Key()
+		for _, rt := range buckets[k] {
+			if joinMatches(lt, rt, sharedL, sharedR) {
+				out = append(out, combineJoined(lt, rt, rightOnly))
+			}
+		}
+	}
+	return dedupe(out), outSchema, nil
+}
+
+func joinMatches(lt, rt Tuple, sharedL, sharedR []int) bool {
+	for i := range sharedL {
+		if !lt[sharedL[i]].Equal(rt[sharedR[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func combineJoined(lt, rt Tuple, rightOnly []int) Tuple {
+	out := make(Tuple, 0, len(lt)+len(rightOnly))
+	out = append(out, lt...)
+	for _, ri := range rightOnly {
+		out = append(out, rt[ri])
+	}
+	return out
+}
+
+func dedupe(ts []Tuple) []Tuple {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Union returns the set union of two same-schema relations as a tuple slice.
+func Union(a, b *Relation) ([]Tuple, error) {
+	if !a.Schema().Equal(b.Schema()) {
+		return nil, fmt.Errorf("relstore: union requires identical schemas (%s vs %s)", a.Schema(), b.Schema())
+	}
+	out := append(a.All(), b.All()...)
+	return dedupe(out), nil
+}
+
+// Difference returns the tuples of a that are not in b. Schemas must match.
+func Difference(a, b *Relation) ([]Tuple, error) {
+	if !a.Schema().Equal(b.Schema()) {
+		return nil, fmt.Errorf("relstore: difference requires identical schemas (%s vs %s)", a.Schema(), b.Schema())
+	}
+	var out []Tuple
+	for _, t := range a.All() {
+		if !b.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns the tuples common to a and b. Schemas must match.
+func Intersect(a, b *Relation) ([]Tuple, error) {
+	if !a.Schema().Equal(b.Schema()) {
+		return nil, fmt.Errorf("relstore: intersect requires identical schemas (%s vs %s)", a.Schema(), b.Schema())
+	}
+	var out []Tuple
+	for _, t := range a.All() {
+		if b.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Aggregate computes a single aggregate over one column of a relation.
+// Supported functions: "count", "sum", "avg", "min", "max". For "count" the
+// column may be empty, meaning count of all tuples.
+func Aggregate(r *Relation, fn, column string) (Value, error) {
+	if fn == "count" && column == "" {
+		return Int(int64(r.Len())), nil
+	}
+	ci := r.Schema().ColumnIndex(column)
+	if ci < 0 {
+		return Null(), fmt.Errorf("relstore: relation %q has no column %q", r.Name(), column)
+	}
+	rows := r.All()
+	switch fn {
+	case "count":
+		n := 0
+		for _, t := range rows {
+			if !t[ci].IsNull() {
+				n++
+			}
+		}
+		return Int(int64(n)), nil
+	case "sum", "avg":
+		sum := 0.0
+		n := 0
+		for _, t := range rows {
+			if f, ok := t[ci].AsFloat(); ok {
+				sum += f
+				n++
+			}
+		}
+		if fn == "sum" {
+			return Float(sum), nil
+		}
+		if n == 0 {
+			return Null(), nil
+		}
+		return Float(sum / float64(n)), nil
+	case "min", "max":
+		var best Value
+		first := true
+		for _, t := range rows {
+			if t[ci].IsNull() {
+				continue
+			}
+			if first {
+				best = t[ci]
+				first = false
+				continue
+			}
+			c := t[ci].Compare(best)
+			if (fn == "min" && c < 0) || (fn == "max" && c > 0) {
+				best = t[ci]
+			}
+		}
+		if first {
+			return Null(), nil
+		}
+		return best, nil
+	default:
+		return Null(), fmt.Errorf("relstore: unknown aggregate %q", fn)
+	}
+}

@@ -1,0 +1,324 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Relation is a named, schema-typed set of tuples with optional hash indexes
+// on individual columns. All operations are safe for concurrent use.
+//
+// Relations have set semantics: inserting a tuple equal to an existing one is
+// a no-op and Insert reports false.
+type Relation struct {
+	name   string
+	schema *Schema
+
+	mu      sync.RWMutex
+	rows    map[string]Tuple      // key -> tuple
+	indexes map[int]map[uint64][]string // column -> value hash -> tuple keys
+	version uint64
+}
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema *Schema) *Relation {
+	return &Relation{
+		name:    name,
+		schema:  schema,
+		rows:    make(map[string]Tuple),
+		indexes: make(map[int]map[uint64][]string),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
+
+// Version returns a counter incremented on every successful mutation. It lets
+// callers (e.g. the CyLog engine) detect changes cheaply.
+func (r *Relation) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column. Lookups
+// via SelectEq on an indexed column avoid a full scan.
+func (r *Relation) CreateIndex(column string) error {
+	ci := r.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("relstore: relation %q has no column %q", r.name, column)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := make(map[uint64][]string)
+	for key, t := range r.rows {
+		h := t[ci].Hash()
+		idx[h] = append(idx[h], key)
+	}
+	r.indexes[ci] = idx
+	return nil
+}
+
+// HasIndex reports whether an index exists on the named column.
+func (r *Relation) HasIndex(column string) bool {
+	ci := r.schema.ColumnIndex(column)
+	if ci < 0 {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.indexes[ci]
+	return ok
+}
+
+// Insert adds the tuple (coerced to the schema types). It returns true when
+// the tuple was new, false when an equal tuple was already present, and an
+// error when the tuple does not fit the schema.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	ct, err := r.schema.Coerce(t)
+	if err != nil {
+		return false, err
+	}
+	key := ct.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.rows[key]; exists {
+		return false, nil
+	}
+	r.rows[key] = ct
+	for ci, idx := range r.indexes {
+		h := ct[ci].Hash()
+		idx[h] = append(idx[h], key)
+	}
+	r.version++
+	return true, nil
+}
+
+// MustInsert inserts a tuple built from native Go values and panics on schema
+// mismatch. It is a convenience for tests and static fixtures.
+func (r *Relation) MustInsert(vals ...any) bool {
+	ok, err := r.Insert(NewTuple(vals...))
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// InsertAll inserts every tuple and returns the count of newly added tuples.
+func (r *Relation) InsertAll(tuples []Tuple) (int, error) {
+	added := 0
+	for _, t := range tuples {
+		ok, err := r.Insert(t)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Delete removes the tuple equal to t. It returns true when a tuple was
+// removed.
+func (r *Relation) Delete(t Tuple) (bool, error) {
+	ct, err := r.schema.Coerce(t)
+	if err != nil {
+		return false, err
+	}
+	key := ct.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.rows[key]; !exists {
+		return false, nil
+	}
+	delete(r.rows, key)
+	for ci, idx := range r.indexes {
+		h := ct[ci].Hash()
+		keys := idx[h]
+		for i, k := range keys {
+			if k == key {
+				idx[h] = append(keys[:i], keys[i+1:]...)
+				break
+			}
+		}
+		if len(idx[h]) == 0 {
+			delete(idx, h)
+		}
+	}
+	r.version++
+	return true, nil
+}
+
+// DeleteWhere removes every tuple for which pred returns true and returns the
+// number removed.
+func (r *Relation) DeleteWhere(pred func(Tuple) bool) int {
+	victims := r.Select(pred)
+	n := 0
+	for _, t := range victims {
+		if ok, _ := r.Delete(t); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether an equal tuple is stored.
+func (r *Relation) Contains(t Tuple) bool {
+	ct, err := r.schema.Coerce(t)
+	if err != nil {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.rows[ct.Key()]
+	return ok
+}
+
+// All returns every tuple in deterministic (sorted) order.
+func (r *Relation) All() []Tuple {
+	r.mu.RLock()
+	out := make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		out = append(out, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Scan calls fn for every tuple until fn returns false. Iteration order is
+// unspecified; fn must not call back into the relation's mutating methods.
+func (r *Relation) Scan(fn func(Tuple) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, t := range r.rows {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Select returns every tuple satisfying pred, in deterministic order.
+func (r *Relation) Select(pred func(Tuple) bool) []Tuple {
+	r.mu.RLock()
+	out := make([]Tuple, 0)
+	for _, t := range r.rows {
+		if pred(t) {
+			out = append(out, t)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// SelectEq returns every tuple whose named column equals v. It uses a hash
+// index on the column when one exists, and otherwise scans.
+func (r *Relation) SelectEq(column string, v Value) []Tuple {
+	ci := r.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	r.mu.RLock()
+	idx, hasIdx := r.indexes[ci]
+	var out []Tuple
+	if hasIdx {
+		for _, key := range idx[v.Hash()] {
+			t := r.rows[key]
+			if t[ci].Equal(v) {
+				out = append(out, t)
+			}
+		}
+	} else {
+		for _, t := range r.rows {
+			if t[ci].Equal(v) {
+				out = append(out, t)
+			}
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Project returns the distinct projection of the relation onto the named
+// columns, in deterministic order.
+func (r *Relation) Project(columns ...string) ([]Tuple, error) {
+	positions := make([]int, len(columns))
+	for i, c := range columns {
+		p := r.schema.ColumnIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("relstore: relation %q has no column %q", r.name, c)
+		}
+		positions[i] = p
+	}
+	seen := make(map[string]bool)
+	var out []Tuple
+	r.mu.RLock()
+	for _, t := range r.rows {
+		p := t.Project(positions...)
+		k := p.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// Clear removes all tuples.
+func (r *Relation) Clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.rows) == 0 {
+		return
+	}
+	r.rows = make(map[string]Tuple)
+	for ci := range r.indexes {
+		r.indexes[ci] = make(map[uint64][]string)
+	}
+	r.version++
+}
+
+// Clone returns a deep copy of the relation (indexes are rebuilt lazily: the
+// clone starts with the same indexed columns).
+func (r *Relation) Clone() *Relation {
+	r.mu.RLock()
+	cols := make([]int, 0, len(r.indexes))
+	for ci := range r.indexes {
+		cols = append(cols, ci)
+	}
+	tuples := make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		tuples = append(tuples, t)
+	}
+	r.mu.RUnlock()
+
+	c := NewRelation(r.name, r.schema)
+	for _, ci := range cols {
+		c.indexes[ci] = make(map[uint64][]string)
+	}
+	for _, t := range tuples {
+		c.Insert(t) //nolint:errcheck // tuples came from a schema-validated relation
+	}
+	return c
+}
+
+// String summarises the relation.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s%s [%d tuples]", r.name, r.schema, r.Len())
+}

@@ -1,0 +1,187 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns identified by name. Column names are
+// case-sensitive and must be unique within a schema.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given columns. It panics if a column name
+// is duplicated or empty, because schemas are always constructed from static
+// program definitions and an invalid schema is a programming error.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			panic("relstore: empty column name")
+		}
+		if _, dup := s.index[c.Name]; dup {
+			panic(fmt.Sprintf("relstore: duplicate column %q", c.Name))
+		}
+		s.index[c.Name] = i
+	}
+	return s
+}
+
+// MustSchema builds a schema from "name:type" strings, e.g. "id:int",
+// "name:string". It panics on malformed specs; it is intended for tests and
+// static definitions.
+func MustSchema(specs ...string) *Schema {
+	cols := make([]Column, 0, len(specs))
+	for _, sp := range specs {
+		name, typ, ok := strings.Cut(sp, ":")
+		if !ok {
+			panic(fmt.Sprintf("relstore: malformed column spec %q (want name:type)", sp))
+		}
+		t, err := ParseType(typ)
+		if err != nil {
+			panic(err)
+		}
+		cols = append(cols, Column{Name: strings.TrimSpace(name), Type: t})
+	}
+	return NewSchema(cols...)
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.cols) }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// ColumnIndex returns the position of the named column, or -1 when absent.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the named column exists.
+func (s *Schema) HasColumn(name string) bool { return s.ColumnIndex(name) >= 0 }
+
+// Names returns the ordered column names.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical column names and types in
+// the same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Validate checks that a tuple conforms to the schema: correct arity and each
+// value either NULL or coercible to the declared column type.
+func (s *Schema) Validate(t Tuple) error {
+	if len(t) != len(s.cols) {
+		return fmt.Errorf("relstore: tuple arity %d does not match schema arity %d", len(t), len(s.cols))
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		c := s.cols[i]
+		switch c.Type {
+		case TypeInt, TypeFloat:
+			if !v.isNumeric() {
+				if _, ok := v.AsFloat(); !ok {
+					return fmt.Errorf("relstore: column %q expects %s, got %s", c.Name, c.Type, v.Type())
+				}
+			}
+		case TypeString:
+			// every value renders as a string
+		case TypeBool:
+			if _, ok := v.AsBool(); !ok {
+				return fmt.Errorf("relstore: column %q expects bool, got %s", c.Name, v.Type())
+			}
+		}
+	}
+	return nil
+}
+
+// Coerce returns a copy of the tuple with every value converted to the
+// declared column type (NULLs are preserved). It returns an error when a value
+// cannot be represented in the column type.
+func (s *Schema) Coerce(t Tuple) (Tuple, error) {
+	if len(t) != len(s.cols) {
+		return nil, fmt.Errorf("relstore: tuple arity %d does not match schema arity %d", len(t), len(s.cols))
+	}
+	out := make(Tuple, len(t))
+	for i, v := range t {
+		if v.IsNull() {
+			out[i] = v
+			continue
+		}
+		switch s.cols[i].Type {
+		case TypeInt:
+			n, ok := v.AsInt()
+			if !ok {
+				return nil, fmt.Errorf("relstore: cannot coerce %s to int for column %q", v, s.cols[i].Name)
+			}
+			out[i] = Int(n)
+		case TypeFloat:
+			f, ok := v.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("relstore: cannot coerce %s to float for column %q", v, s.cols[i].Name)
+			}
+			out[i] = Float(f)
+		case TypeString:
+			out[i] = String(v.AsString())
+		case TypeBool:
+			b, ok := v.AsBool()
+			if !ok {
+				return nil, fmt.Errorf("relstore: cannot coerce %s to bool for column %q", v, s.cols[i].Name)
+			}
+			out[i] = Bool(b)
+		default:
+			out[i] = v
+		}
+	}
+	return out, nil
+}

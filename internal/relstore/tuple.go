@@ -1,0 +1,120 @@
+package relstore
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Tuple is an ordered list of values. Tuples are value objects: callers must
+// not mutate a tuple after handing it to a Relation.
+type Tuple []Value
+
+// NewTuple builds a tuple from native Go values using FromGo.
+func NewTuple(vals ...any) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = FromGo(v)
+	}
+	return t
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t) - len(o)
+}
+
+// Hash combines the hashes of all values.
+func (t Tuple) Hash() uint64 {
+	h := fnv.New64a()
+	for _, v := range t {
+		writeUint64(h, v.Hash())
+	}
+	return h.Sum64()
+}
+
+// Key returns a string key uniquely identifying the tuple contents; used for
+// set semantics in relations. Equal tuples produce equal keys.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte(byte('0' + int(canonicalType(v))))
+		b.WriteByte(':')
+		b.WriteString(canonicalString(v))
+	}
+	return b.String()
+}
+
+// canonicalType folds int and float into a single numeric class so that
+// Int(3) and Float(3) produce the same key, matching Equal.
+func canonicalType(v Value) Type {
+	if v.t == TypeFloat {
+		return TypeInt
+	}
+	return v.t
+}
+
+func canonicalString(v Value) string {
+	if v.isNumeric() {
+		f, _ := v.AsFloat()
+		if f == float64(int64(f)) {
+			return Int(int64(f)).AsString()
+		}
+		return Float(f).AsString()
+	}
+	return v.AsString()
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Project returns a new tuple containing the values at the given positions.
+func (t Tuple) Project(positions ...int) Tuple {
+	out := make(Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}

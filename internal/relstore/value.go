@@ -1,0 +1,335 @@
+// Package relstore implements an embedded, in-memory relational store used as
+// the storage substrate for the Crowd4U platform and its CyLog rule engine.
+//
+// The store provides typed schemas, tuples, relations with hash indexes,
+// snapshot/restore, and relational-algebra helpers (selection, projection and
+// natural join). It intentionally supports only the operations CyLog and the
+// platform need, keeping the implementation dependency-free and deterministic.
+package relstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type identifies the type of a Value stored in a relation column.
+type Type int
+
+// Supported column types.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String returns the lower-case name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "null"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// ParseType converts a type name (as used in schema declarations and CyLog
+// programs) into a Type. It returns an error for unknown names.
+func ParseType(name string) (Type, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "int", "integer", "long":
+		return TypeInt, nil
+	case "float", "double", "real":
+		return TypeFloat, nil
+	case "string", "text", "varchar":
+		return TypeString, nil
+	case "bool", "boolean":
+		return TypeBool, nil
+	case "null":
+		return TypeNull, nil
+	default:
+		return TypeNull, fmt.Errorf("relstore: unknown type %q", name)
+	}
+}
+
+// Value is a single typed value stored in a tuple. The zero Value is NULL.
+type Value struct {
+	t Type
+	i int64
+	f float64
+	s string
+	b bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{t: TypeInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{t: TypeFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{t: TypeString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{t: TypeBool, b: v} }
+
+// Type reports the type of the value.
+func (v Value) Type() Type { return v.t }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.t == TypeNull }
+
+// AsInt returns the value as an int64. Floats are truncated; booleans map to
+// 0/1; strings are parsed when possible. The second return value reports
+// whether the conversion was exact enough to be meaningful.
+func (v Value) AsInt() (int64, bool) {
+	switch v.t {
+	case TypeInt:
+		return v.i, true
+	case TypeFloat:
+		return int64(v.f), true
+	case TypeBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case TypeString:
+		n, err := strconv.ParseInt(v.s, 10, 64)
+		return n, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat returns the value as a float64 when a numeric interpretation exists.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.t {
+	case TypeInt:
+		return float64(v.i), true
+	case TypeFloat:
+		return v.f, true
+	case TypeBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case TypeString:
+		f, err := strconv.ParseFloat(v.s, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsString returns the value rendered as a string. NULL renders as "".
+func (v Value) AsString() string {
+	switch v.t {
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return v.s
+	case TypeBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return ""
+	}
+}
+
+// AsBool returns the value interpreted as a boolean.
+func (v Value) AsBool() (bool, bool) {
+	switch v.t {
+	case TypeBool:
+		return v.b, true
+	case TypeInt:
+		return v.i != 0, true
+	case TypeFloat:
+		return v.f != 0, true
+	case TypeString:
+		b, err := strconv.ParseBool(v.s)
+		return b, err == nil
+	default:
+		return false, false
+	}
+}
+
+// String implements fmt.Stringer; NULL is rendered as "NULL" and strings are
+// quoted so that tuples print unambiguously.
+func (v Value) String() string {
+	switch v.t {
+	case TypeNull:
+		return "NULL"
+	case TypeString:
+		return strconv.Quote(v.s)
+	default:
+		return v.AsString()
+	}
+}
+
+// Equal reports value equality. Numeric values of different types (int vs
+// float) compare by numeric value, matching CyLog comparison semantics.
+func (v Value) Equal(o Value) bool {
+	if v.t == o.t {
+		switch v.t {
+		case TypeNull:
+			return true
+		case TypeInt:
+			return v.i == o.i
+		case TypeFloat:
+			return v.f == o.f
+		case TypeString:
+			return v.s == o.s
+		case TypeBool:
+			return v.b == o.b
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		return a == b
+	}
+	return false
+}
+
+func (v Value) isNumeric() bool { return v.t == TypeInt || v.t == TypeFloat }
+
+// Compare orders two values. NULL sorts before everything; mixed numeric types
+// compare numerically; otherwise values are compared within their type, and
+// across incomparable types the ordering falls back to the type id so that the
+// relation's ordering is total and deterministic.
+func (v Value) Compare(o Value) int {
+	if v.t == TypeNull || o.t == TypeNull {
+		switch {
+		case v.t == o.t:
+			return 0
+		case v.t == TypeNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.t != o.t {
+		return int(v.t) - int(o.t)
+	}
+	switch v.t {
+	case TypeString:
+		return strings.Compare(v.s, o.s)
+	case TypeBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Hash returns a stable hash of the value, used by relation indexes. Values
+// that are Equal hash identically (ints and equal-valued floats share the
+// numeric hash path).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	switch {
+	case v.t == TypeNull:
+		h.Write([]byte{0})
+	case v.isNumeric():
+		f, _ := v.AsFloat()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			// Integral values hash by their integer representation so that
+			// Int(3) and Float(3.0) collide, matching Equal.
+			h.Write([]byte{1})
+			writeUint64(h, uint64(int64(f)))
+		} else {
+			h.Write([]byte{2})
+			writeUint64(h, math.Float64bits(f))
+		}
+	case v.t == TypeString:
+		h.Write([]byte{3})
+		h.Write([]byte(v.s))
+	case v.t == TypeBool:
+		h.Write([]byte{4})
+		if v.b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h interface{ Write([]byte) (int, error) }, x uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(x >> (8 * uint(i)))
+	}
+	h.Write(buf[:])
+}
+
+// FromGo converts a native Go value into a Value. Supported inputs are nil,
+// bool, all integer kinds, float32/64, and string. Unsupported kinds become a
+// string via fmt.Sprint so callers never lose data silently.
+func FromGo(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null()
+	case Value:
+		return t
+	case bool:
+		return Bool(t)
+	case int:
+		return Int(int64(t))
+	case int8:
+		return Int(int64(t))
+	case int16:
+		return Int(int64(t))
+	case int32:
+		return Int(int64(t))
+	case int64:
+		return Int(t)
+	case uint:
+		return Int(int64(t))
+	case uint32:
+		return Int(int64(t))
+	case uint64:
+		return Int(int64(t))
+	case float32:
+		return Float(float64(t))
+	case float64:
+		return Float(t)
+	case string:
+		return String(t)
+	default:
+		return String(fmt.Sprint(x))
+	}
+}

@@ -1,0 +1,206 @@
+package task
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Decomposer splits a complex task into micro-tasks (Figure 1, first step).
+// The paper stresses that "Crowd4U can use any task decomposition algorithm";
+// this interface is the plug-in point, and the package ships the decomposers
+// used by the three demo scenarios.
+type Decomposer interface {
+	// Decompose returns the micro-tasks derived from the parent. Each returned
+	// task must have ParentID set to parent.ID and a distinct Sequence.
+	Decompose(parent *Task, newID func() ID) ([]*Task, error)
+	// Name identifies the decomposer in logs and DESIGN/EXPERIMENTS indexes.
+	Name() string
+}
+
+// SentenceDecomposer splits the parent's Input["document"] into sentences and
+// creates one micro-task per sentence. This is the decomposition used by the
+// video-subtitle translation scenario, where each subtitle line becomes a
+// translate micro-task.
+type SentenceDecomposer struct {
+	// Scheme for the generated micro-tasks (default: parent's scheme).
+	Scheme CollaborationScheme
+	// InputKey is the parent input field holding the text (default "document").
+	InputKey string
+	// MaxSentences bounds the number of micro-tasks (0 = unlimited).
+	MaxSentences int
+}
+
+// Name implements Decomposer.
+func (d SentenceDecomposer) Name() string { return "sentence" }
+
+// Decompose implements Decomposer.
+func (d SentenceDecomposer) Decompose(parent *Task, newID func() ID) ([]*Task, error) {
+	key := d.InputKey
+	if key == "" {
+		key = "document"
+	}
+	doc := parent.Input[key]
+	if strings.TrimSpace(doc) == "" {
+		return nil, fmt.Errorf("task: parent %s has no %q input to decompose", parent.ID, key)
+	}
+	sentences := SplitSentences(doc)
+	if d.MaxSentences > 0 && len(sentences) > d.MaxSentences {
+		sentences = sentences[:d.MaxSentences]
+	}
+	scheme := d.Scheme
+	if scheme == "" {
+		scheme = parent.Scheme
+	}
+	out := make([]*Task, 0, len(sentences))
+	for i, s := range sentences {
+		t := NewTask(newID(), parent.ProjectID, fmt.Sprintf("%s [part %d/%d]", parent.Title, i+1, len(sentences)), scheme, parent.Constraints)
+		t.ParentID = parent.ID
+		t.Sequence = i
+		t.Description = parent.Description
+		t.Form = parent.Form.Clone()
+		t.Input["sentence"] = s
+		t.GeneratedBy = "decomposer:" + d.Name()
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// SplitSentences splits text into sentences on ., !, ? and newlines, trimming
+// whitespace and dropping empties. It is deliberately simple — decomposition
+// quality is not the paper's contribution — but deterministic.
+func SplitSentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(b.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch r {
+		case '.', '!', '?', '\n':
+			if r != '\n' {
+				b.WriteRune(r)
+			}
+			flush()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// SectionDecomposer splits a document-drafting task into independent sections
+// that sub-groups edit simultaneously — the decomposition described in §2.2
+// for parallel tasks ("independent sections of a document to draft together").
+type SectionDecomposer struct {
+	// Sections lists section titles; when empty, Decompose falls back to the
+	// parent's Input["sections"] (comma-separated).
+	Sections []string
+}
+
+// Name implements Decomposer.
+func (d SectionDecomposer) Name() string { return "section" }
+
+// Decompose implements Decomposer.
+func (d SectionDecomposer) Decompose(parent *Task, newID func() ID) ([]*Task, error) {
+	sections := d.Sections
+	if len(sections) == 0 {
+		for _, s := range strings.Split(parent.Input["sections"], ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				sections = append(sections, s)
+			}
+		}
+	}
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("task: parent %s has no sections to decompose", parent.ID)
+	}
+	out := make([]*Task, 0, len(sections))
+	for i, sec := range sections {
+		t := NewTask(newID(), parent.ProjectID, fmt.Sprintf("%s — section %q", parent.Title, sec), Simultaneous, parent.Constraints)
+		t.ParentID = parent.ID
+		t.Sequence = i
+		t.Form = parent.Form.Clone()
+		t.Input["section"] = sec
+		t.Input["topic"] = parent.Input["topic"]
+		t.GeneratedBy = "decomposer:" + d.Name()
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// GridDecomposer splits a surveillance task into a region × time-period grid,
+// producing one hybrid micro-task per cell ("collect as much data about facts
+// and testimonials in different geographic regions and at different time
+// periods").
+type GridDecomposer struct {
+	Regions     []string
+	TimePeriods []string
+}
+
+// Name implements Decomposer.
+func (d GridDecomposer) Name() string { return "grid" }
+
+// Decompose implements Decomposer.
+func (d GridDecomposer) Decompose(parent *Task, newID func() ID) ([]*Task, error) {
+	if len(d.Regions) == 0 || len(d.TimePeriods) == 0 {
+		return nil, fmt.Errorf("task: grid decomposer needs at least one region and one time period")
+	}
+	out := make([]*Task, 0, len(d.Regions)*len(d.TimePeriods))
+	seq := 0
+	for _, region := range d.Regions {
+		for _, period := range d.TimePeriods {
+			c := parent.Constraints
+			c.Region = region
+			t := NewTask(newID(), parent.ProjectID, fmt.Sprintf("%s — %s / %s", parent.Title, region, period), Hybrid, c)
+			t.ParentID = parent.ID
+			t.Sequence = seq
+			seq++
+			t.Form = parent.Form.Clone()
+			t.Input["region"] = region
+			t.Input["period"] = period
+			t.GeneratedBy = "decomposer:" + d.Name()
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// ChunkDecomposer splits Input["document"] into fixed-size word chunks; a
+// generic fallback for long texts where sentence boundaries are unreliable.
+type ChunkDecomposer struct {
+	WordsPerChunk int
+}
+
+// Name implements Decomposer.
+func (d ChunkDecomposer) Name() string { return "chunk" }
+
+// Decompose implements Decomposer.
+func (d ChunkDecomposer) Decompose(parent *Task, newID func() ID) ([]*Task, error) {
+	if d.WordsPerChunk <= 0 {
+		return nil, fmt.Errorf("task: chunk decomposer needs WordsPerChunk > 0")
+	}
+	words := strings.FieldsFunc(parent.Input["document"], unicode.IsSpace)
+	if len(words) == 0 {
+		return nil, fmt.Errorf("task: parent %s has no document input to decompose", parent.ID)
+	}
+	var out []*Task
+	for i := 0; i < len(words); i += d.WordsPerChunk {
+		end := i + d.WordsPerChunk
+		if end > len(words) {
+			end = len(words)
+		}
+		t := NewTask(newID(), parent.ProjectID, fmt.Sprintf("%s [chunk %d]", parent.Title, len(out)+1), parent.Scheme, parent.Constraints)
+		t.ParentID = parent.ID
+		t.Sequence = len(out)
+		t.Form = parent.Form.Clone()
+		t.Input["chunk"] = strings.Join(words[i:end], " ")
+		t.GeneratedBy = "decomposer:" + d.Name()
+		out = append(out, t)
+	}
+	return out, nil
+}

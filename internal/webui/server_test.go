@@ -1,0 +1,352 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/collab"
+	"github.com/crowd4u/crowd4u-go/internal/crowdsim"
+	"github.com/crowd4u/crowd4u-go/internal/platform"
+	"github.com/crowd4u/crowd4u-go/internal/project"
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+	"github.com/crowd4u/crowd4u-go/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*Server, *platform.Platform, *crowdsim.Crowd) {
+	t.Helper()
+	p := platform.New()
+	p.SetClock(func() time.Time { return time.Date(2016, 9, 5, 9, 0, 0, 0, time.UTC) })
+	cfg := crowdsim.DefaultConfig(11)
+	cfg.InterestProbability = 1
+	cfg.AcceptProbability = 1
+	crowd := crowdsim.New(cfg, p.Workers)
+	crowd.GeneratePopulation(crowdsim.DefaultPopulation(15))
+	return NewServer(p, crowd), p, crowd
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func postForm(t *testing.T, s *Server, path string, form url.Values) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDashboardAndNotFound(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	rec := get(t, s, "/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Crowd4U") {
+		t.Errorf("dashboard = %d %q", rec.Code, rec.Body.String()[:80])
+	}
+	if rec := get(t, s, "/definitely-not-here"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path = %d", rec.Code)
+	}
+}
+
+func TestProjectRegistrationForm(t *testing.T) {
+	s, p, _ := newTestServer(t)
+	if rec := get(t, s, "/admin/projects/new"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Desired human factors") {
+		t.Errorf("project form = %d", rec.Code)
+	}
+	form := url.Values{
+		"name":                {"Subtitle translation"},
+		"requester":           {"mori"},
+		"scheme":              {"sequential"},
+		"cylog":               {workload.TranslationCyLog(workload.SubtitleSentences(2))},
+		"required_skill":      {"translation"},
+		"min_skill":           {"0.3"},
+		"critical_mass":       {"3"},
+		"min_team_size":       {"2"},
+		"recruitment_minutes": {"60"},
+		"require_login":       {"on"},
+	}
+	rec := postForm(t, s, "/admin/projects", form)
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("register project = %d %s", rec.Code, rec.Body.String())
+	}
+	loc := rec.Header().Get("Location")
+	if !strings.HasPrefix(loc, "/admin/projects/project-") {
+		t.Fatalf("redirect = %q", loc)
+	}
+	if p.Projects.Count() != 1 {
+		t.Errorf("project count = %d", p.Projects.Count())
+	}
+	admins := p.Projects.All()
+	c := admins[0].Description.Factors.Constraints
+	if c.RequiredSkill != "translation" || c.UpperCriticalMass != 3 || c.MinTeamSize != 2 || !c.RequireLogin {
+		t.Errorf("parsed constraints = %+v", c)
+	}
+	if admins[0].Description.Factors.RecruitmentWindow != time.Hour {
+		t.Errorf("window = %v", admins[0].Description.Factors.RecruitmentWindow)
+	}
+	// Admin page renders with the constraint form and task list.
+	rec = get(t, s, loc)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "constraint entry form") {
+		t.Errorf("admin page = %d", rec.Code)
+	}
+	// Bad project is rejected.
+	if rec := postForm(t, s, "/admin/projects", url.Values{"name": {""}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid project = %d", rec.Code)
+	}
+	// JSON registration also works.
+	body := `{"Name":"json project","Scheme":"individual"}`
+	req := httptest.NewRequest(http.MethodPost, "/admin/projects", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusSeeOther {
+		t.Errorf("json project = %d %s", rec2.Code, rec2.Body.String())
+	}
+	req = httptest.NewRequest(http.MethodPost, "/admin/projects", strings.NewReader("{broken"))
+	req.Header.Set("Content-Type", "application/json")
+	rec3 := httptest.NewRecorder()
+	s.ServeHTTP(rec3, req)
+	if rec3.Code != http.StatusBadRequest {
+		t.Errorf("broken json = %d", rec3.Code)
+	}
+	// Project list page.
+	if rec := get(t, s, "/admin/projects"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Subtitle translation") {
+		t.Errorf("project list = %d", rec.Code)
+	}
+	// Unknown admin page 404s.
+	if rec := get(t, s, "/admin/projects/project-9999"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown project = %d", rec.Code)
+	}
+}
+
+func TestProjectFactorsUpdate(t *testing.T) {
+	s, p, _ := newTestServer(t)
+	admin, _ := p.RegisterProject(project.Description{Name: "x"})
+	id := string(admin.Description.ID)
+	rec := postForm(t, s, "/admin/projects/"+id+"/factors", url.Values{
+		"critical_mass": {"6"}, "min_team_size": {"3"}, "algorithm": {"star"},
+	})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("update factors = %d %s", rec.Code, rec.Body.String())
+	}
+	got, _ := p.Projects.Get(admin.Description.ID)
+	if got.Description.Factors.Constraints.UpperCriticalMass != 6 {
+		t.Errorf("constraints not updated: %+v", got.Description.Factors.Constraints)
+	}
+	if p.Controller.Algorithm().Name() != "star" {
+		t.Error("algorithm not applied")
+	}
+	if rec := postForm(t, s, "/admin/projects/"+id+"/factors", url.Values{"algorithm": {"bogus"}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus algorithm = %d", rec.Code)
+	}
+	if rec := postForm(t, s, "/admin/projects/zzz/factors", url.Values{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown project factors = %d", rec.Code)
+	}
+}
+
+func TestWorkerPageAndInterestFlow(t *testing.T) {
+	s, p, _ := newTestServer(t)
+	admin, _ := p.RegisterProject(workload.TranslationProject(workload.SubtitleSentences(2)))
+	created, err := p.GenerateTasksFromCyLog(admin.Description.ID)
+	if err != nil || len(created) == 0 {
+		t.Fatalf("task generation failed: %v", err)
+	}
+	// Pick a worker who is eligible for the first task.
+	eligible := p.Workers.WorkersWith(worker.Eligible, string(created[0].ID))
+	if len(eligible) == 0 {
+		t.Fatal("no eligible workers")
+	}
+	wid := string(eligible[0])
+
+	rec := get(t, s, "/workers/"+wid)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("worker page = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Your human factors") || !strings.Contains(body, string(created[0].ID)) {
+		t.Errorf("worker page should show factors and eligible tasks")
+	}
+	if rec := get(t, s, "/workers/ghost"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown worker = %d", rec.Code)
+	}
+
+	// Declare interest.
+	rec = postForm(t, s, "/workers/"+wid+"/interest", url.Values{"task": {string(created[0].ID)}})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("interest = %d %s", rec.Code, rec.Body.String())
+	}
+	if !p.Workers.HasRelationship(worker.InterestedIn, string(created[0].ID), worker.ID(wid)) {
+		t.Error("interest not recorded")
+	}
+	// Missing task, ineligible worker, unknown task errors.
+	if rec := postForm(t, s, "/workers/"+wid+"/interest", url.Values{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing task = %d", rec.Code)
+	}
+	if rec := postForm(t, s, "/workers/"+wid+"/interest", url.Values{"task": {"no-such-task"}}); rec.Code != http.StatusForbidden {
+		t.Errorf("ineligible = %d", rec.Code)
+	}
+
+	// Update human factors (Figure 4).
+	rec = postForm(t, s, "/workers/"+wid+"/factors", url.Values{
+		"native_languages": {"ja, en"},
+		"region":           {"tsukuba"},
+		"skills":           {"translation=0.9, journalism=0.4"},
+		"sns_id":           {wid + "@example"},
+	})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("update factors = %d %s", rec.Code, rec.Body.String())
+	}
+	w, _ := p.Workers.Get(worker.ID(wid))
+	if !w.Factors.SpeaksNatively("ja") || w.Factors.Skill("translation") != 0.9 || w.SNSID != wid+"@example" {
+		t.Errorf("factors not updated: %+v", w.Factors)
+	}
+	if rec := postForm(t, s, "/workers/ghost/factors", url.Values{}); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown worker factors = %d", rec.Code)
+	}
+}
+
+func TestTaskPageAndAnswer(t *testing.T) {
+	s, p, _ := newTestServer(t)
+	admin, _ := p.RegisterProject(project.Description{Name: "simple", Scheme: task.Individual})
+	tk := task.NewTask("", "", "Confirm this fact", task.Individual, task.Constraints{UpperCriticalMass: 1, MinTeamSize: 1})
+	tk.Form = task.ConfirmForm("Is the road closed?")
+	if err := p.AddTask(admin.Description.ID, tk); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, s, "/tasks/"+string(tk.ID))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Task form") {
+		t.Errorf("task page = %d", rec.Code)
+	}
+	if rec := get(t, s, "/tasks/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown task = %d", rec.Code)
+	}
+	// Invalid answer (bad select option).
+	rec = postForm(t, s, "/tasks/"+string(tk.ID)+"/answer", url.Values{"worker": {"sim-0001"}, "confirmed": {"maybe"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid answer = %d", rec.Code)
+	}
+	// Missing worker.
+	rec = postForm(t, s, "/tasks/"+string(tk.ID)+"/answer", url.Values{"confirmed": {"yes"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing worker = %d", rec.Code)
+	}
+	// Valid answer completes the task and the page then shows the result.
+	rec = postForm(t, s, "/tasks/"+string(tk.ID)+"/answer", url.Values{"worker": {"sim-0001"}, "confirmed": {"yes"}, "comment": {"saw it"}})
+	if rec.Code != http.StatusSeeOther {
+		t.Fatalf("answer = %d %s", rec.Code, rec.Body.String())
+	}
+	if tk.State() != task.StateCompleted {
+		t.Errorf("task state = %v", tk.State())
+	}
+	rec = get(t, s, "/tasks/"+string(tk.ID))
+	if !strings.Contains(rec.Body.String(), "Team result") {
+		t.Error("completed task page should show the result")
+	}
+	// Answering twice conflicts.
+	rec = postForm(t, s, "/tasks/"+string(tk.ID)+"/answer", url.Values{"worker": {"sim-0002"}, "confirmed": {"no"}})
+	if rec.Code != http.StatusConflict {
+		t.Errorf("second answer = %d", rec.Code)
+	}
+	if rec := postForm(t, s, "/tasks/ghost/answer", url.Values{}); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown task answer = %d", rec.Code)
+	}
+}
+
+func TestJSONAPIAndCycle(t *testing.T) {
+	s, p, _ := newTestServer(t)
+	p.RegisterProject(workload.TranslationProject(workload.SubtitleSentences(2)))
+
+	rec := get(t, s, "/api/projects")
+	var projects []projectJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &projects); err != nil || len(projects) != 1 {
+		t.Fatalf("projects api = %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Run one full cycle through the API.
+	rec = postForm(t, s, "/api/cycle", url.Values{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cycle = %d %s", rec.Code, rec.Body.String())
+	}
+	var report platform.CycleReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.GeneratedTasks != 2 || report.CompletedTasks != 2 {
+		t.Errorf("cycle report = %+v", report)
+	}
+
+	rec = get(t, s, "/api/tasks?state=completed")
+	var tasks []taskJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &tasks); err != nil || len(tasks) != 2 {
+		t.Errorf("tasks api = %s", rec.Body.String())
+	}
+	rec = get(t, s, "/api/workers")
+	var workers []workerJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &workers); err != nil || len(workers) != 15 {
+		t.Errorf("workers api = %s", rec.Body.String())
+	}
+	rec = get(t, s, "/api/events")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "task-completed") {
+		t.Errorf("events api = %d", rec.Code)
+	}
+	// Teams for completed tasks have been cleared from the worker relations
+	// but the suggestion is still queryable; unknown task returns 404.
+	if rec := get(t, s, "/api/teams/absolutely-not-a-task"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown team = %d", rec.Code)
+	}
+	if len(tasks) > 0 {
+		if rec := get(t, s, "/api/teams/"+string(tasks[0].ID)); rec.Code != http.StatusOK {
+			t.Errorf("team api = %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestAPICycleWithoutCrowd(t *testing.T) {
+	p := platform.New()
+	s := NewServer(p, nil)
+	rec := postForm(t, s, "/api/cycle", url.Values{})
+	if rec.Code != http.StatusPreconditionFailed {
+		t.Errorf("cycle without crowd = %d", rec.Code)
+	}
+}
+
+func TestSortedTeamsAndStepPrompt(t *testing.T) {
+	s, p, _ := newTestServer(t)
+	admin, _ := p.RegisterProject(workload.TranslationProject(workload.SubtitleSentences(2)))
+	p.GenerateTasksFromCyLog(admin.Description.ID)
+	p.CollectInterest(s.Crowd)
+	p.AssignOpenTasks()
+	teams := SortedTeams(p)
+	if len(teams) != 2 {
+		t.Errorf("SortedTeams = %d", len(teams))
+	}
+	for i := 1; i < len(teams); i++ {
+		if teams[i-1].TaskID > teams[i].TaskID {
+			t.Error("teams not sorted")
+		}
+	}
+	kinds := []struct {
+		kind string
+		want string
+	}{
+		{"draft", "Draft"}, {"improve", "Improve"}, {"check", "Check"}, {"fix", "Fix"},
+		{"sns", "contact"}, {"contribute", "shared document"}, {"submit", "Submit"},
+		{"fact", "facts"}, {"correct", "Correct"}, {"testimonial", "testimonial"}, {"mystery", "mystery"},
+	}
+	for _, k := range kinds {
+		got := StepPrompt(collab.StepKind(k.kind))
+		if !strings.Contains(got, k.want) {
+			t.Errorf("StepPrompt(%s) = %q", k.kind, got)
+		}
+	}
+}

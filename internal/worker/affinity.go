@@ -1,0 +1,220 @@
+package worker
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// AffinityMatrix stores pairwise worker-to-worker affinity values in [0,1].
+// The matrix is symmetric and sparse: unset pairs fall back to a configurable
+// default. The paper's assignment controller consumes this matrix to find
+// teams (cliques) with high intra-affinity (§2.2).
+type AffinityMatrix struct {
+	mu      sync.RWMutex
+	pairs   map[[2]ID]float64
+	def     float64
+	workers map[ID]bool
+}
+
+// NewAffinityMatrix creates an empty matrix with a default affinity of 0.
+func NewAffinityMatrix() *AffinityMatrix {
+	return &AffinityMatrix{pairs: make(map[[2]ID]float64), workers: make(map[ID]bool)}
+}
+
+// SetDefault changes the affinity assumed for pairs with no explicit entry.
+func (a *AffinityMatrix) SetDefault(v float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.def = clamp01(v)
+}
+
+// Default returns the default affinity for unset pairs.
+func (a *AffinityMatrix) Default() float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.def
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func pairKey(x, y ID) [2]ID {
+	if x > y {
+		x, y = y, x
+	}
+	return [2]ID{x, y}
+}
+
+// Set records the affinity between two workers (symmetric). Values are clamped
+// to [0,1]. Setting a worker's affinity with itself is ignored.
+func (a *AffinityMatrix) Set(x, y ID, v float64) {
+	if x == y {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pairs[pairKey(x, y)] = clamp01(v)
+	a.workers[x] = true
+	a.workers[y] = true
+}
+
+// Get returns the affinity between two workers, falling back to the default
+// for unset pairs. A worker's affinity with itself is 1.
+func (a *AffinityMatrix) Get(x, y ID) float64 {
+	if x == y {
+		return 1
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if v, ok := a.pairs[pairKey(x, y)]; ok {
+		return v
+	}
+	return a.def
+}
+
+// Has reports whether an explicit entry exists for the pair.
+func (a *AffinityMatrix) Has(x, y ID) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.pairs[pairKey(x, y)]
+	return ok
+}
+
+// RemoveWorker deletes every entry involving the worker.
+func (a *AffinityMatrix) RemoveWorker(id ID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k := range a.pairs {
+		if k[0] == id || k[1] == id {
+			delete(a.pairs, k)
+		}
+	}
+	delete(a.workers, id)
+}
+
+// Pairs returns the number of explicit entries.
+func (a *AffinityMatrix) Pairs() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.pairs)
+}
+
+// GroupAffinity returns the mean pairwise affinity inside the group, the
+// measure maximised by the assignment algorithms. Groups of size 0 or 1 have
+// affinity 0 (a singleton has no collaboration synergy).
+func (a *AffinityMatrix) GroupAffinity(group []ID) float64 {
+	if len(group) < 2 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			sum += a.Get(group[i], group[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// MinPairAffinity returns the smallest pairwise affinity in the group, used by
+// quality floors ("every pair must get along at least this well"). Empty or
+// singleton groups return 1.
+func (a *AffinityMatrix) MinPairAffinity(group []ID) float64 {
+	if len(group) < 2 {
+		return 1
+	}
+	min := math.Inf(1)
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			if v := a.Get(group[i], group[j]); v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}
+
+// TotalAffinity returns the sum (rather than mean) of pairwise affinities,
+// which is the objective used by [9]'s AffinityAware formulations.
+func (a *AffinityMatrix) TotalAffinity(group []ID) float64 {
+	if len(group) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			sum += a.Get(group[i], group[j])
+		}
+	}
+	return sum
+}
+
+// Neighbors returns the ids with an explicit affinity entry with id of at
+// least threshold, sorted by descending affinity (ties by id).
+func (a *AffinityMatrix) Neighbors(id ID, threshold float64) []ID {
+	type nb struct {
+		id ID
+		v  float64
+	}
+	a.mu.RLock()
+	var nbs []nb
+	for k, v := range a.pairs {
+		var other ID
+		switch {
+		case k[0] == id:
+			other = k[1]
+		case k[1] == id:
+			other = k[0]
+		default:
+			continue
+		}
+		if v >= threshold {
+			nbs = append(nbs, nb{other, v})
+		}
+	}
+	a.mu.RUnlock()
+	sort.Slice(nbs, func(i, j int) bool {
+		if nbs[i].v != nbs[j].v {
+			return nbs[i].v > nbs[j].v
+		}
+		return nbs[i].id < nbs[j].id
+	})
+	out := make([]ID, len(nbs))
+	for i, n := range nbs {
+		out[i] = n.id
+	}
+	return out
+}
+
+// FillFromLocations derives affinities from worker locations: workers in the
+// same region get regionAffinity; otherwise affinity decays exponentially with
+// distance, halving every halfDistanceKm. This mirrors the paper's
+// surveillance example where "if workers live in the same geographic area,
+// their affinity value is larger".
+func (a *AffinityMatrix) FillFromLocations(workers []*Worker, regionAffinity, halfDistanceKm float64) {
+	if halfDistanceKm <= 0 {
+		halfDistanceKm = 50
+	}
+	for i := 0; i < len(workers); i++ {
+		for j := i + 1; j < len(workers); j++ {
+			wi, wj := workers[i], workers[j]
+			var v float64
+			if wi.Factors.Location.Region != "" && wi.Factors.Location.Region == wj.Factors.Location.Region {
+				v = regionAffinity
+			} else {
+				d := wi.Factors.Location.DistanceKm(wj.Factors.Location)
+				v = regionAffinity * math.Exp(-d/halfDistanceKm*math.Ln2)
+			}
+			a.Set(wi.ID, wj.ID, v)
+		}
+	}
+}

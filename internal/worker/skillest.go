@@ -1,0 +1,99 @@
+package worker
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultSkillPrior is the Beta-style prior used by the skill estimator:
+// before any observation a worker's skill estimate is PriorMean, and the
+// prior carries PriorWeight pseudo-observations so early results do not swing
+// the estimate wildly.
+var DefaultSkillPrior = SkillPrior{PriorMean: 0.5, PriorWeight: 2}
+
+// SkillPrior configures the estimator's prior belief about worker skill.
+type SkillPrior struct {
+	PriorMean   float64
+	PriorWeight float64
+}
+
+// SkillEstimator learns worker skills from the quality of completed tasks
+// (§2.4: factors are "computed by the system based on previously performed
+// tasks", in the spirit of Rahman et al. [10]). It keeps, per (worker, skill),
+// the running sum of observed qualities and the observation count, and
+// produces a smoothed posterior-mean estimate.
+type SkillEstimator struct {
+	mu    sync.RWMutex
+	prior SkillPrior
+	sum   map[ID]map[string]float64
+	count map[ID]map[string]int
+}
+
+// NewSkillEstimator creates an estimator with the given prior.
+func NewSkillEstimator(prior SkillPrior) *SkillEstimator {
+	if prior.PriorWeight < 0 {
+		prior.PriorWeight = 0
+	}
+	prior.PriorMean = clamp01(prior.PriorMean)
+	return &SkillEstimator{
+		prior: prior,
+		sum:   make(map[ID]map[string]float64),
+		count: make(map[ID]map[string]int),
+	}
+}
+
+// Observe records one completed task for the worker with an observed outcome
+// quality in [0,1] (e.g. the fraction of the worker's contribution accepted
+// during a sequential check step, or a qualification-test score).
+func (e *SkillEstimator) Observe(id ID, skill string, quality float64) {
+	quality = clamp01(quality)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sum[id] == nil {
+		e.sum[id] = make(map[string]float64)
+		e.count[id] = make(map[string]int)
+	}
+	e.sum[id][skill] += quality
+	e.count[id][skill]++
+}
+
+// Estimate returns the smoothed skill estimate and the number of observations
+// behind it. With zero observations it returns the prior mean and 0.
+func (e *SkillEstimator) Estimate(id ID, skill string) (float64, int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.count[id][skill]
+	s := e.sum[id][skill]
+	est := (s + e.prior.PriorMean*e.prior.PriorWeight) / (float64(n) + e.prior.PriorWeight)
+	if e.prior.PriorWeight == 0 && n == 0 {
+		est = e.prior.PriorMean
+	}
+	return clamp01(est), n
+}
+
+// Observations returns the number of recorded observations for (worker, skill).
+func (e *SkillEstimator) Observations(id ID, skill string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.count[id][skill]
+}
+
+// Skills returns the sorted list of skills observed for the worker.
+func (e *SkillEstimator) Skills(id ID) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.count[id]))
+	for s := range e.count[id] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset forgets everything recorded for the worker.
+func (e *SkillEstimator) Reset(id ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.sum, id)
+	delete(e.count, id)
+}

@@ -1,0 +1,477 @@
+// Package worker implements the Crowd4U worker manager: rich worker entities
+// with human factors (languages, location, skills and application-specific
+// factors), the worker-to-worker affinity matrix, the explicit worker↔task
+// relationships described in §2.2 of the paper (Eligible, InterestedIn,
+// Undertakes), and online skill estimation from completed tasks (§2.4).
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ID identifies a worker.
+type ID string
+
+// ErrUnknownWorker is returned when an operation references a worker id that
+// has not been registered with the manager.
+var ErrUnknownWorker = errors.New("worker: unknown worker")
+
+// Location is a geographic position used for proximity-driven affinity
+// (e.g. surveillance tasks prefer workers who live in the same area).
+type Location struct {
+	Lat float64
+	Lon float64
+	// Region is a coarse label ("tsukuba", "paris-5e", ...). Workers sharing a
+	// region get an affinity boost even when coordinates are missing.
+	Region string
+}
+
+// DistanceKm returns the great-circle distance between two locations using the
+// haversine formula.
+func (l Location) DistanceKm(o Location) float64 {
+	const earthRadiusKm = 6371.0
+	lat1, lon1 := l.Lat*math.Pi/180, l.Lon*math.Pi/180
+	lat2, lon2 := o.Lat*math.Pi/180, o.Lon*math.Pi/180
+	dLat, dLon := lat2-lat1, lon2-lon1
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) + math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// HumanFactors is the set of per-worker attributes that task assignment and
+// eligibility rules consult (Figure 4 of the paper). Skills and Custom hold
+// application-specific factors keyed by name, valued in [0,1] for skills.
+type HumanFactors struct {
+	NativeLanguages []string
+	OtherLanguages  []string
+	Location        Location
+	// Skills maps a skill/domain name ("translation:en-ja", "journalism",
+	// "surveillance") to a proficiency in [0,1]. Skills may be self-declared at
+	// registration or estimated from completed tasks.
+	Skills map[string]float64
+	// Custom holds free-form application-specific human factors
+	// ("camera:true", "student:false", ...).
+	Custom map[string]string
+	// WagePerTask is the (virtual) cost of involving this worker in one task.
+	// Crowd4U is volunteer based, so this defaults to 1 — a unit of effort —
+	// but the assignment cost constraint still applies.
+	WagePerTask float64
+}
+
+// CloneHumanFactors returns a deep copy.
+func (h HumanFactors) Clone() HumanFactors {
+	c := h
+	c.NativeLanguages = append([]string(nil), h.NativeLanguages...)
+	c.OtherLanguages = append([]string(nil), h.OtherLanguages...)
+	c.Skills = make(map[string]float64, len(h.Skills))
+	for k, v := range h.Skills {
+		c.Skills[k] = v
+	}
+	c.Custom = make(map[string]string, len(h.Custom))
+	for k, v := range h.Custom {
+		c.Custom[k] = v
+	}
+	return c
+}
+
+// Speaks reports whether the worker speaks the given language natively or
+// otherwise. Language codes are matched case-insensitively.
+func (h HumanFactors) Speaks(lang string) bool {
+	return h.SpeaksNatively(lang) || containsFold(h.OtherLanguages, lang)
+}
+
+// SpeaksNatively reports whether lang is one of the worker's native languages.
+func (h HumanFactors) SpeaksNatively(lang string) bool {
+	return containsFold(h.NativeLanguages, lang)
+}
+
+func containsFold(xs []string, x string) bool {
+	for _, s := range xs {
+		if strings.EqualFold(s, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Skill returns the proficiency for the named skill, 0 when unknown.
+func (h HumanFactors) Skill(name string) float64 {
+	if h.Skills == nil {
+		return 0
+	}
+	return h.Skills[name]
+}
+
+// Worker is a participant registered on the platform.
+type Worker struct {
+	ID       ID
+	Name     string
+	Factors  HumanFactors
+	// SNSID is the worker's contact/collaboration-tool identity (e.g. a Google
+	// account), solicited at the start of a simultaneous collaboration (§2.3).
+	SNSID string
+	// LoggedIn reports whether the worker has an authenticated session; some
+	// projects restrict eligibility to logged-in workers.
+	LoggedIn bool
+	// Registered is when the account was created.
+	Registered time.Time
+	// CompletedTasks counts tasks this worker has finished on the platform.
+	CompletedTasks int
+}
+
+// Clone returns a deep copy of the worker.
+func (w *Worker) Clone() *Worker {
+	c := *w
+	c.Factors = w.Factors.Clone()
+	return &c
+}
+
+// String renders a short description.
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker(%s %q langs=%v)", w.ID, w.Name, w.Factors.NativeLanguages)
+}
+
+// Relationship is one of the three explicit worker↔task relationship kinds
+// managed by Crowd4U (§2.2).
+type Relationship int
+
+const (
+	// Eligible means the worker may perform the task; computed by the CyLog
+	// processor from the project description and the worker's human factors.
+	Eligible Relationship = iota
+	// InterestedIn means the worker declared interest after seeing the task in
+	// the eligible-task list on their user page.
+	InterestedIn
+	// Undertakes means the worker confirmed they are performing the task. A
+	// pair may enter this state only when the worker is Eligible.
+	Undertakes
+)
+
+// String returns the paper's name for the relationship.
+func (r Relationship) String() string {
+	switch r {
+	case Eligible:
+		return "Eligible"
+	case InterestedIn:
+		return "InterestedIn"
+	case Undertakes:
+		return "Undertakes"
+	default:
+		return fmt.Sprintf("Relationship(%d)", int(r))
+	}
+}
+
+// Manager is the worker manager component of Figure 2: it stores worker
+// profiles and human factors, the affinity matrix, and the worker↔task
+// relationship tables, and it answers eligibility and team-candidate queries
+// from the task assignment controller. All methods are safe for concurrent
+// use.
+type Manager struct {
+	mu        sync.RWMutex
+	workers   map[ID]*Worker
+	affinity  *AffinityMatrix
+	relations map[Relationship]map[string]map[ID]time.Time // rel -> taskID -> worker -> when
+	skills    *SkillEstimator
+	nowFn     func() time.Time
+}
+
+// NewManager creates an empty worker manager.
+func NewManager() *Manager {
+	m := &Manager{
+		workers:   make(map[ID]*Worker),
+		affinity:  NewAffinityMatrix(),
+		relations: make(map[Relationship]map[string]map[ID]time.Time),
+		skills:    NewSkillEstimator(DefaultSkillPrior),
+		nowFn:     time.Now,
+	}
+	for _, r := range []Relationship{Eligible, InterestedIn, Undertakes} {
+		m.relations[r] = make(map[string]map[ID]time.Time)
+	}
+	return m
+}
+
+// SetClock overrides the time source; tests use it for determinism.
+func (m *Manager) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nowFn = now
+}
+
+// Register adds a worker. Registering an existing id replaces the profile but
+// keeps relationship state and affinity entries.
+func (m *Manager) Register(w *Worker) error {
+	if w == nil || w.ID == "" {
+		return errors.New("worker: cannot register worker with empty id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := w.Clone()
+	if cp.Registered.IsZero() {
+		cp.Registered = m.nowFn()
+	}
+	if cp.Factors.WagePerTask == 0 {
+		cp.Factors.WagePerTask = 1
+	}
+	m.workers[w.ID] = cp
+	return nil
+}
+
+// Unregister removes a worker along with its relationships and affinities.
+func (m *Manager) Unregister(id ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.workers[id]; !ok {
+		return false
+	}
+	delete(m.workers, id)
+	for _, byTask := range m.relations {
+		for _, byWorker := range byTask {
+			delete(byWorker, id)
+		}
+	}
+	m.affinity.RemoveWorker(id)
+	return true
+}
+
+// Get returns a copy of the worker profile.
+func (m *Manager) Get(id ID) (*Worker, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	w, ok := m.workers[id]
+	if !ok {
+		return nil, false
+	}
+	return w.Clone(), true
+}
+
+// Count returns the number of registered workers.
+func (m *Manager) Count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.workers)
+}
+
+// IDs returns all worker ids in sorted order.
+func (m *Manager) IDs() []ID {
+	m.mu.RLock()
+	out := make([]ID, 0, len(m.workers))
+	for id := range m.workers {
+		out = append(out, id)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns copies of all workers in sorted id order.
+func (m *Manager) All() []*Worker {
+	ids := m.IDs()
+	out := make([]*Worker, 0, len(ids))
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, id := range ids {
+		out = append(out, m.workers[id].Clone())
+	}
+	return out
+}
+
+// UpdateFactors replaces a worker's human factors (the worker page of Fig. 4
+// lets workers update them).
+func (m *Manager) UpdateFactors(id ID, f HumanFactors) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, id)
+	}
+	if f.WagePerTask == 0 {
+		f.WagePerTask = w.Factors.WagePerTask
+	}
+	w.Factors = f.Clone()
+	return nil
+}
+
+// SetSNSID records the contact id solicited during simultaneous collaboration.
+func (m *Manager) SetSNSID(id ID, sns string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, id)
+	}
+	w.SNSID = sns
+	return nil
+}
+
+// SetLoggedIn marks the worker's session state.
+func (m *Manager) SetLoggedIn(id ID, in bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, id)
+	}
+	w.LoggedIn = in
+	return nil
+}
+
+// Affinity returns the manager's affinity matrix; callers use it directly for
+// reads and updates.
+func (m *Manager) Affinity() *AffinityMatrix { return m.affinity }
+
+// Skills returns the manager's skill estimator.
+func (m *Manager) Skills() *SkillEstimator { return m.skills }
+
+// SetRelationship records rel(worker, task). Undertakes requires that the
+// worker is currently Eligible for the task, per the paper's invariant.
+func (m *Manager) SetRelationship(rel Relationship, taskID string, id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.workers[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, id)
+	}
+	if rel == Undertakes {
+		if !m.hasRelationLocked(Eligible, taskID, id) {
+			return fmt.Errorf("worker: %s cannot undertake task %s without being eligible", id, taskID)
+		}
+	}
+	byTask := m.relations[rel]
+	if byTask[taskID] == nil {
+		byTask[taskID] = make(map[ID]time.Time)
+	}
+	byTask[taskID][id] = m.nowFn()
+	return nil
+}
+
+// ClearRelationship removes rel(worker, task). Removing Eligible cascades to
+// InterestedIn and Undertakes so the invariant is preserved.
+func (m *Manager) ClearRelationship(rel Relationship, taskID string, id ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.relations[rel][taskID], id)
+	if rel == Eligible {
+		delete(m.relations[InterestedIn][taskID], id)
+		delete(m.relations[Undertakes][taskID], id)
+	}
+}
+
+// HasRelationship reports whether rel(worker, task) holds.
+func (m *Manager) HasRelationship(rel Relationship, taskID string, id ID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.hasRelationLocked(rel, taskID, id)
+}
+
+func (m *Manager) hasRelationLocked(rel Relationship, taskID string, id ID) bool {
+	byWorker, ok := m.relations[rel][taskID]
+	if !ok {
+		return false
+	}
+	_, ok = byWorker[id]
+	return ok
+}
+
+// WorkersWith returns the sorted ids of workers in rel with the task.
+func (m *Manager) WorkersWith(rel Relationship, taskID string) []ID {
+	m.mu.RLock()
+	byWorker := m.relations[rel][taskID]
+	out := make([]ID, 0, len(byWorker))
+	for id := range byWorker {
+		out = append(out, id)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TasksWith returns the sorted task ids for which the worker is in rel.
+func (m *Manager) TasksWith(rel Relationship, id ID) []string {
+	m.mu.RLock()
+	var out []string
+	for taskID, byWorker := range m.relations[rel] {
+		if _, ok := byWorker[id]; ok {
+			out = append(out, taskID)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// ClearTask removes every relationship involving the task (used when a task
+// completes or is withdrawn).
+func (m *Manager) ClearTask(taskID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, byTask := range m.relations {
+		delete(byTask, taskID)
+	}
+}
+
+// EligibilityRule decides whether a worker may perform a task of a given
+// project; the CyLog processor compiles project descriptions into such rules.
+type EligibilityRule func(w *Worker) bool
+
+// ComputeEligibility evaluates the rule over all workers, records the Eligible
+// relationship for those that pass, clears it (cascading) for those that fail,
+// and returns the sorted eligible ids.
+func (m *Manager) ComputeEligibility(taskID string, rule EligibilityRule) []ID {
+	ids := m.IDs()
+	var eligible []ID
+	for _, id := range ids {
+		w, _ := m.Get(id)
+		if rule == nil || rule(w) {
+			if err := m.SetRelationship(Eligible, taskID, id); err == nil {
+				eligible = append(eligible, id)
+			}
+		} else {
+			m.ClearRelationship(Eligible, taskID, id)
+		}
+	}
+	return eligible
+}
+
+// Candidates returns workers who are both Eligible for and InterestedIn the
+// task — exactly the pool the assignment controller builds teams from (§2.2.1
+// step 5).
+func (m *Manager) Candidates(taskID string) []ID {
+	eligible := m.WorkersWith(Eligible, taskID)
+	var out []ID
+	for _, id := range eligible {
+		if m.HasRelationship(InterestedIn, taskID, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RecordCompletion increments the worker's completed-task counter and feeds
+// the outcome into the skill estimator.
+func (m *Manager) RecordCompletion(id ID, skill string, quality float64) error {
+	m.mu.Lock()
+	w, ok := m.workers[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, id)
+	}
+	w.CompletedTasks++
+	m.mu.Unlock()
+	m.skills.Observe(id, skill, quality)
+	// Reflect the new estimate into the worker's factors so that eligibility
+	// rules and assignment immediately see learned skills (§2.4).
+	est, n := m.skills.Estimate(id, skill)
+	if n > 0 {
+		m.mu.Lock()
+		if w.Factors.Skills == nil {
+			w.Factors.Skills = make(map[string]float64)
+		}
+		w.Factors.Skills[skill] = est
+		m.mu.Unlock()
+	}
+	return nil
+}

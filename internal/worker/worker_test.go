@@ -1,0 +1,526 @@
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestWorker(id, name string, langs []string, skills map[string]float64) *Worker {
+	return &Worker{
+		ID:   ID(id),
+		Name: name,
+		Factors: HumanFactors{
+			NativeLanguages: langs,
+			Skills:          skills,
+			WagePerTask:     1,
+		},
+		LoggedIn: true,
+	}
+}
+
+func newPopulatedManager(t *testing.T) *Manager {
+	t.Helper()
+	m := NewManager()
+	m.SetClock(func() time.Time { return time.Date(2016, 9, 5, 0, 0, 0, 0, time.UTC) })
+	workers := []*Worker{
+		newTestWorker("w1", "alice", []string{"en"}, map[string]float64{"translation": 0.9}),
+		newTestWorker("w2", "bob", []string{"en", "fr"}, map[string]float64{"translation": 0.6}),
+		newTestWorker("w3", "carol", []string{"ja"}, map[string]float64{"translation": 0.8, "journalism": 0.7}),
+		newTestWorker("w4", "dan", []string{"ja"}, map[string]float64{"surveillance": 0.5}),
+	}
+	for _, w := range workers {
+		if err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestHumanFactorsSpeaks(t *testing.T) {
+	f := HumanFactors{NativeLanguages: []string{"en"}, OtherLanguages: []string{"Ja"}}
+	if !f.SpeaksNatively("EN") {
+		t.Error("case-insensitive native language match failed")
+	}
+	if f.SpeaksNatively("ja") {
+		t.Error("ja is not native")
+	}
+	if !f.Speaks("ja") || !f.Speaks("en") {
+		t.Error("Speaks should cover native and other languages")
+	}
+	if f.Speaks("fr") {
+		t.Error("fr is not spoken")
+	}
+}
+
+func TestHumanFactorsSkillAndClone(t *testing.T) {
+	f := HumanFactors{Skills: map[string]float64{"x": 0.4}, Custom: map[string]string{"camera": "true"}}
+	if f.Skill("x") != 0.4 || f.Skill("y") != 0 {
+		t.Error("Skill lookup misbehaves")
+	}
+	var empty HumanFactors
+	if empty.Skill("x") != 0 {
+		t.Error("Skill on nil map should be 0")
+	}
+	c := f.Clone()
+	c.Skills["x"] = 0.9
+	c.Custom["camera"] = "false"
+	if f.Skills["x"] != 0.4 || f.Custom["camera"] != "true" {
+		t.Error("Clone should not share maps")
+	}
+}
+
+func TestLocationDistance(t *testing.T) {
+	tsukuba := Location{Lat: 36.08, Lon: 140.11}
+	tokyo := Location{Lat: 35.68, Lon: 139.77}
+	d := tsukuba.DistanceKm(tokyo)
+	if d < 40 || d > 70 {
+		t.Errorf("Tsukuba-Tokyo distance = %.1f km, want ~55", d)
+	}
+	if tsukuba.DistanceKm(tsukuba) != 0 {
+		t.Error("distance to self should be 0")
+	}
+}
+
+func TestManagerRegisterGetUnregister(t *testing.T) {
+	m := newPopulatedManager(t)
+	if m.Count() != 4 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	w, ok := m.Get("w1")
+	if !ok || w.Name != "alice" {
+		t.Fatalf("Get(w1) = %v,%v", w, ok)
+	}
+	if w.Registered.IsZero() {
+		t.Error("Registered should be set at registration")
+	}
+	// Returned worker is a copy.
+	w.Name = "mallory"
+	w2, _ := m.Get("w1")
+	if w2.Name != "alice" {
+		t.Error("Get should return a copy")
+	}
+	if err := m.Register(nil); err == nil {
+		t.Error("Register(nil) should fail")
+	}
+	if err := m.Register(&Worker{}); err == nil {
+		t.Error("Register with empty id should fail")
+	}
+	if !m.Unregister("w4") || m.Unregister("w4") {
+		t.Error("Unregister misbehaves")
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count after unregister = %d", m.Count())
+	}
+	ids := m.IDs()
+	if len(ids) != 3 || ids[0] != "w1" || ids[2] != "w3" {
+		t.Errorf("IDs = %v", ids)
+	}
+	if len(m.All()) != 3 {
+		t.Errorf("All = %d workers", len(m.All()))
+	}
+}
+
+func TestManagerUpdateFactorsAndSNS(t *testing.T) {
+	m := newPopulatedManager(t)
+	err := m.UpdateFactors("w2", HumanFactors{NativeLanguages: []string{"fr"}, Skills: map[string]float64{"translation": 0.95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.Get("w2")
+	if !w.Factors.SpeaksNatively("fr") || w.Factors.Skill("translation") != 0.95 {
+		t.Error("UpdateFactors did not apply")
+	}
+	if w.Factors.WagePerTask != 1 {
+		t.Errorf("WagePerTask should be preserved, got %v", w.Factors.WagePerTask)
+	}
+	if err := m.UpdateFactors("zzz", HumanFactors{}); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("expected ErrUnknownWorker, got %v", err)
+	}
+	if err := m.SetSNSID("w2", "bob@gmail.example"); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = m.Get("w2")
+	if w.SNSID != "bob@gmail.example" {
+		t.Error("SetSNSID did not apply")
+	}
+	if err := m.SetSNSID("zzz", "x"); err == nil {
+		t.Error("SetSNSID unknown worker should fail")
+	}
+	if err := m.SetLoggedIn("w2", false); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = m.Get("w2")
+	if w.LoggedIn {
+		t.Error("SetLoggedIn(false) did not apply")
+	}
+	if err := m.SetLoggedIn("zzz", true); err == nil {
+		t.Error("SetLoggedIn unknown worker should fail")
+	}
+}
+
+func TestRelationshipLifecycle(t *testing.T) {
+	m := newPopulatedManager(t)
+	const task = "task-1"
+
+	// Undertakes before Eligible must fail (paper invariant).
+	if err := m.SetRelationship(Undertakes, task, "w1"); err == nil {
+		t.Error("Undertakes without Eligible should fail")
+	}
+	if err := m.SetRelationship(Eligible, task, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRelationship(InterestedIn, task, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRelationship(Undertakes, task, "w1"); err != nil {
+		t.Errorf("Undertakes after Eligible should succeed: %v", err)
+	}
+	if !m.HasRelationship(Undertakes, task, "w1") {
+		t.Error("HasRelationship(Undertakes) = false")
+	}
+	if err := m.SetRelationship(Eligible, task, "zzz"); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown worker: %v", err)
+	}
+
+	// Clearing Eligible cascades.
+	m.ClearRelationship(Eligible, task, "w1")
+	if m.HasRelationship(InterestedIn, task, "w1") || m.HasRelationship(Undertakes, task, "w1") {
+		t.Error("clearing Eligible should cascade to InterestedIn and Undertakes")
+	}
+}
+
+func TestRelationshipQueries(t *testing.T) {
+	m := newPopulatedManager(t)
+	for _, id := range []ID{"w1", "w2", "w3"} {
+		m.SetRelationship(Eligible, "t1", id)
+	}
+	m.SetRelationship(Eligible, "t2", "w1")
+	m.SetRelationship(InterestedIn, "t1", "w2")
+	m.SetRelationship(InterestedIn, "t1", "w3")
+
+	if got := m.WorkersWith(Eligible, "t1"); len(got) != 3 {
+		t.Errorf("WorkersWith(Eligible,t1) = %v", got)
+	}
+	if got := m.TasksWith(Eligible, "w1"); len(got) != 2 || got[0] != "t1" {
+		t.Errorf("TasksWith(Eligible,w1) = %v", got)
+	}
+	if got := m.Candidates("t1"); len(got) != 2 || got[0] != "w2" || got[1] != "w3" {
+		t.Errorf("Candidates(t1) = %v", got)
+	}
+	m.ClearTask("t1")
+	if len(m.WorkersWith(Eligible, "t1")) != 0 {
+		t.Error("ClearTask should remove all relationships")
+	}
+	if len(m.TasksWith(Eligible, "w1")) != 1 {
+		t.Error("ClearTask should not affect other tasks")
+	}
+}
+
+func TestUnregisterClearsRelationships(t *testing.T) {
+	m := newPopulatedManager(t)
+	m.SetRelationship(Eligible, "t1", "w1")
+	m.Affinity().Set("w1", "w2", 0.9)
+	m.Unregister("w1")
+	if m.HasRelationship(Eligible, "t1", "w1") {
+		t.Error("relationships should be removed with the worker")
+	}
+	if m.Affinity().Has("w1", "w2") {
+		t.Error("affinity entries should be removed with the worker")
+	}
+}
+
+func TestComputeEligibility(t *testing.T) {
+	m := newPopulatedManager(t)
+	rule := func(w *Worker) bool { return w.LoggedIn && w.Factors.SpeaksNatively("en") }
+	eligible := m.ComputeEligibility("t1", rule)
+	if len(eligible) != 2 || eligible[0] != "w1" || eligible[1] != "w2" {
+		t.Errorf("eligible = %v", eligible)
+	}
+	// Re-running with a changed profile revokes eligibility and cascades.
+	m.SetRelationship(InterestedIn, "t1", "w2")
+	m.SetLoggedIn("w2", false)
+	eligible = m.ComputeEligibility("t1", rule)
+	if len(eligible) != 1 || eligible[0] != "w1" {
+		t.Errorf("eligible after logout = %v", eligible)
+	}
+	if m.HasRelationship(InterestedIn, "t1", "w2") {
+		t.Error("interest should be revoked when eligibility is revoked")
+	}
+	// nil rule means everyone is eligible.
+	if got := m.ComputeEligibility("t2", nil); len(got) != 4 {
+		t.Errorf("nil rule eligible = %v", got)
+	}
+}
+
+func TestRelationshipStringer(t *testing.T) {
+	if Eligible.String() != "Eligible" || InterestedIn.String() != "InterestedIn" || Undertakes.String() != "Undertakes" {
+		t.Error("Relationship.String misbehaves")
+	}
+	if Relationship(99).String() == "" {
+		t.Error("unknown relationship should still render")
+	}
+}
+
+func TestWorkerStringer(t *testing.T) {
+	w := newTestWorker("w1", "alice", []string{"en"}, nil)
+	if s := w.String(); s == "" || s == "worker()" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAffinityMatrixBasics(t *testing.T) {
+	a := NewAffinityMatrix()
+	if a.Get("x", "y") != 0 {
+		t.Error("default affinity should be 0")
+	}
+	a.SetDefault(0.3)
+	if a.Get("x", "y") != 0.3 || a.Default() != 0.3 {
+		t.Error("SetDefault did not apply")
+	}
+	a.Set("x", "y", 0.8)
+	if a.Get("x", "y") != 0.8 || a.Get("y", "x") != 0.8 {
+		t.Error("affinity should be symmetric")
+	}
+	if !a.Has("y", "x") || a.Has("x", "z") {
+		t.Error("Has misbehaves")
+	}
+	if a.Get("x", "x") != 1 {
+		t.Error("self affinity should be 1")
+	}
+	a.Set("x", "x", 0.1)
+	if a.Pairs() != 1 {
+		t.Error("self pair should not be stored")
+	}
+	a.Set("x", "z", 1.7) // clamped
+	if a.Get("x", "z") != 1 {
+		t.Errorf("clamping failed: %v", a.Get("x", "z"))
+	}
+	a.Set("x", "w", -0.5)
+	if a.Get("x", "w") != 0 {
+		t.Errorf("clamping failed: %v", a.Get("x", "w"))
+	}
+	a.RemoveWorker("x")
+	if a.Pairs() != 0 {
+		t.Errorf("Pairs after RemoveWorker = %d", a.Pairs())
+	}
+}
+
+func TestAffinityGroupMeasures(t *testing.T) {
+	a := NewAffinityMatrix()
+	a.Set("a", "b", 0.8)
+	a.Set("a", "c", 0.6)
+	a.Set("b", "c", 0.4)
+	group := []ID{"a", "b", "c"}
+	if g := a.GroupAffinity(group); math.Abs(g-0.6) > 1e-9 {
+		t.Errorf("GroupAffinity = %v, want 0.6", g)
+	}
+	if m := a.MinPairAffinity(group); m != 0.4 {
+		t.Errorf("MinPairAffinity = %v", m)
+	}
+	if tot := a.TotalAffinity(group); math.Abs(tot-1.8) > 1e-9 {
+		t.Errorf("TotalAffinity = %v", tot)
+	}
+	if a.GroupAffinity([]ID{"a"}) != 0 || a.TotalAffinity(nil) != 0 {
+		t.Error("degenerate groups should have 0 affinity")
+	}
+	if a.MinPairAffinity([]ID{"a"}) != 1 {
+		t.Error("singleton MinPairAffinity should be 1")
+	}
+}
+
+func TestAffinityNeighbors(t *testing.T) {
+	a := NewAffinityMatrix()
+	a.Set("a", "b", 0.9)
+	a.Set("a", "c", 0.5)
+	a.Set("a", "d", 0.2)
+	a.Set("b", "c", 0.99)
+	nbs := a.Neighbors("a", 0.4)
+	if len(nbs) != 2 || nbs[0] != "b" || nbs[1] != "c" {
+		t.Errorf("Neighbors = %v", nbs)
+	}
+	if len(a.Neighbors("zzz", 0)) != 0 {
+		t.Error("unknown worker should have no neighbors")
+	}
+}
+
+func TestAffinityFillFromLocations(t *testing.T) {
+	a := NewAffinityMatrix()
+	ws := []*Worker{
+		{ID: "near1", Factors: HumanFactors{Location: Location{Lat: 36.08, Lon: 140.11, Region: "tsukuba"}}},
+		{ID: "near2", Factors: HumanFactors{Location: Location{Lat: 36.09, Lon: 140.10, Region: "tsukuba"}}},
+		{ID: "far", Factors: HumanFactors{Location: Location{Lat: 48.85, Lon: 2.35, Region: "paris"}}},
+	}
+	a.FillFromLocations(ws, 0.9, 50)
+	same := a.Get("near1", "near2")
+	far := a.Get("near1", "far")
+	if same != 0.9 {
+		t.Errorf("same-region affinity = %v, want 0.9", same)
+	}
+	if far >= same || far > 0.01 {
+		t.Errorf("far affinity = %v, should be near 0 and below same-region", far)
+	}
+	// Zero half-distance falls back to a sane default rather than dividing by zero.
+	b := NewAffinityMatrix()
+	b.FillFromLocations(ws[:2], 0.9, 0)
+	if v := b.Get("near1", "near2"); v != 0.9 {
+		t.Errorf("fallback half-distance affinity = %v", v)
+	}
+}
+
+func TestAffinityPropertySymmetricAndClamped(t *testing.T) {
+	f := func(v float64, xi, yi uint8) bool {
+		x := ID(fmt.Sprintf("w%d", xi))
+		y := ID(fmt.Sprintf("w%d", yi))
+		if x == y {
+			return true
+		}
+		a := NewAffinityMatrix()
+		a.Set(x, y, v)
+		got := a.Get(y, x)
+		return got >= 0 && got <= 1 && got == a.Get(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffinityConcurrentAccess(t *testing.T) {
+	a := NewAffinityMatrix()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				x := ID(fmt.Sprintf("w%d", i))
+				y := ID(fmt.Sprintf("w%d", j%7))
+				a.Set(x, y, float64(j)/100)
+				_ = a.Get(x, y)
+				_ = a.GroupAffinity([]ID{x, y, "w0"})
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSkillEstimatorPriorAndConvergence(t *testing.T) {
+	e := NewSkillEstimator(SkillPrior{PriorMean: 0.5, PriorWeight: 2})
+	est, n := e.Estimate("w1", "translation")
+	if est != 0.5 || n != 0 {
+		t.Errorf("prior estimate = %v,%d", est, n)
+	}
+	// A consistently excellent worker converges toward their true skill.
+	for i := 0; i < 50; i++ {
+		e.Observe("w1", "translation", 0.9)
+	}
+	est, n = e.Estimate("w1", "translation")
+	if n != 50 {
+		t.Errorf("observations = %d", n)
+	}
+	if est < 0.85 || est > 0.9 {
+		t.Errorf("estimate after 50 obs = %v, want close to 0.9", est)
+	}
+	// Few observations stay pulled toward the prior.
+	e.Observe("w2", "translation", 1.0)
+	est, _ = e.Estimate("w2", "translation")
+	if est > 0.85 {
+		t.Errorf("single observation estimate = %v, should be shrunk toward prior", est)
+	}
+	if got := e.Observations("w1", "translation"); got != 50 {
+		t.Errorf("Observations = %d", got)
+	}
+	e.Observe("w1", "journalism", 0.7)
+	if skills := e.Skills("w1"); len(skills) != 2 || skills[0] != "journalism" {
+		t.Errorf("Skills = %v", skills)
+	}
+	e.Reset("w1")
+	if _, n := e.Estimate("w1", "translation"); n != 0 {
+		t.Error("Reset should clear observations")
+	}
+}
+
+func TestSkillEstimatorClampsQuality(t *testing.T) {
+	e := NewSkillEstimator(SkillPrior{PriorMean: 0.5, PriorWeight: 0})
+	e.Observe("w", "s", 7.5)
+	e.Observe("w", "s", -3)
+	est, n := e.Estimate("w", "s")
+	if n != 2 || est != 0.5 {
+		t.Errorf("estimate = %v,%d want 0.5,2", est, n)
+	}
+	// Zero prior weight with zero observations returns prior mean, not NaN.
+	if est, _ := e.Estimate("other", "s"); math.IsNaN(est) {
+		t.Error("estimate should not be NaN")
+	}
+}
+
+func TestSkillEstimatorPropertyWithinBounds(t *testing.T) {
+	f := func(obs []float64) bool {
+		e := NewSkillEstimator(DefaultSkillPrior)
+		for _, q := range obs {
+			e.Observe("w", "s", q)
+		}
+		est, n := e.Estimate("w", "s")
+		return est >= 0 && est <= 1 && n == len(obs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManagerRecordCompletionUpdatesSkillFactor(t *testing.T) {
+	m := newPopulatedManager(t)
+	for i := 0; i < 20; i++ {
+		if err := m.RecordCompletion("w4", "surveillance", 0.95); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, _ := m.Get("w4")
+	if w.CompletedTasks != 20 {
+		t.Errorf("CompletedTasks = %d", w.CompletedTasks)
+	}
+	if w.Factors.Skill("surveillance") < 0.85 {
+		t.Errorf("learned skill = %v, want > 0.85", w.Factors.Skill("surveillance"))
+	}
+	if err := m.RecordCompletion("zzz", "x", 1); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown worker: %v", err)
+	}
+	// A worker with no Skills map gets one created.
+	m.Register(&Worker{ID: "w9", Name: "nina"})
+	if err := m.RecordCompletion("w9", "journalism", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	w9, _ := m.Get("w9")
+	if w9.Factors.Skill("journalism") <= 0 {
+		t.Error("skill factor should be created for new skill")
+	}
+}
+
+func TestManagerConcurrentUse(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ID(fmt.Sprintf("w%d", i))
+			m.Register(&Worker{ID: id, Name: fmt.Sprintf("worker %d", i)})
+			m.SetRelationship(Eligible, "t", id)
+			m.SetRelationship(InterestedIn, "t", id)
+			m.Affinity().Set(id, "w0", 0.5)
+			m.RecordCompletion(id, "s", 0.7)
+			_ = m.Candidates("t")
+		}(i)
+	}
+	wg.Wait()
+	if m.Count() != 16 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if len(m.Candidates("t")) != 16 {
+		t.Errorf("Candidates = %d", len(m.Candidates("t")))
+	}
+}

@@ -1,0 +1,285 @@
+// Package workload generates the synthetic workloads used by the experiment
+// harness (EXPERIMENTS.md) and the examples: team-formation problem instances
+// with controlled affinity structure, multi-task batches, and the three demo
+// scenario projects (translation, citizen journalism, surveillance).
+//
+// All generators are deterministic given a seed so experiment tables are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/crowd4u/crowd4u-go/internal/assign"
+	"github.com/crowd4u/crowd4u-go/internal/project"
+	"github.com/crowd4u/crowd4u-go/internal/task"
+	"github.com/crowd4u/crowd4u-go/internal/worker"
+)
+
+// AffinityModel selects how pairwise affinities are generated.
+type AffinityModel string
+
+// Supported affinity models.
+const (
+	// AffinityRandom draws each pair uniformly from [0,1].
+	AffinityRandom AffinityModel = "random"
+	// AffinityClustered splits workers into k clusters with high in-cluster
+	// and low cross-cluster affinity (the regime where affinity-aware
+	// assignment matters most).
+	AffinityClustered AffinityModel = "clustered"
+	// AffinityUniformHigh gives every pair the same high affinity (the regime
+	// where affinity-aware and skill-only assignment coincide).
+	AffinityUniformHigh AffinityModel = "uniform-high"
+)
+
+// InstanceSpec describes one team-formation problem instance.
+type InstanceSpec struct {
+	Seed        int64
+	Workers     int
+	Model       AffinityModel
+	Clusters    int
+	Constraints task.Constraints
+	// SkillMin/SkillMax bound the uniformly drawn per-worker skill.
+	SkillMin float64
+	SkillMax float64
+}
+
+// Instance is a generated problem plus the underlying worker ids.
+type Instance struct {
+	Problem assign.Problem
+	Workers []worker.ID
+}
+
+// NewInstance generates a deterministic team-formation instance.
+func NewInstance(spec InstanceSpec) Instance {
+	if spec.Workers <= 0 {
+		spec.Workers = 10
+	}
+	if spec.Clusters <= 0 {
+		spec.Clusters = 4
+	}
+	if spec.SkillMax <= spec.SkillMin {
+		spec.SkillMin, spec.SkillMax = 0.3, 1.0
+	}
+	r := newRNG(uint64(spec.Seed) ^ 0x5bd1e995)
+	cons := spec.Constraints.Normalize()
+	tk := task.NewTask("bench-task", "bench", "benchmark task", task.Sequential, cons)
+
+	ids := make([]worker.ID, spec.Workers)
+	cands := make([]assign.Candidate, spec.Workers)
+	cluster := make([]int, spec.Workers)
+	for i := 0; i < spec.Workers; i++ {
+		ids[i] = worker.ID(fmt.Sprintf("w%05d", i))
+		cluster[i] = i % spec.Clusters
+		cands[i] = assign.Candidate{
+			ID:    ids[i],
+			Skill: spec.SkillMin + (spec.SkillMax-spec.SkillMin)*r.float(),
+			Cost:  1,
+		}
+	}
+	aff := worker.NewAffinityMatrix()
+	for i := 0; i < spec.Workers; i++ {
+		for j := i + 1; j < spec.Workers; j++ {
+			var v float64
+			switch spec.Model {
+			case AffinityClustered:
+				if cluster[i] == cluster[j] {
+					v = 0.7 + 0.3*r.float()
+				} else {
+					v = 0.2 * r.float()
+				}
+			case AffinityUniformHigh:
+				v = 0.9
+			default:
+				v = r.float()
+			}
+			aff.Set(ids[i], ids[j], v)
+		}
+	}
+	return Instance{
+		Problem: assign.Problem{Task: tk, Candidates: cands, Affinity: aff},
+		Workers: ids,
+	}
+}
+
+// MultiTaskBatch generates nTasks independent instances sharing one worker
+// population and affinity matrix, modelling the multi-task multi-user setting
+// of experiment E4. The returned problems differ only in their task ids.
+func MultiTaskBatch(seed int64, nWorkers, nTasks int, cons task.Constraints) []assign.Problem {
+	base := NewInstance(InstanceSpec{Seed: seed, Workers: nWorkers, Model: AffinityClustered, Constraints: cons})
+	out := make([]assign.Problem, nTasks)
+	for i := 0; i < nTasks; i++ {
+		tk := task.NewTask(task.ID(fmt.Sprintf("bench-task-%04d", i)), "bench", "benchmark task", task.Sequential, cons.Normalize())
+		out[i] = assign.Problem{Task: tk, Candidates: base.Problem.Candidates, Affinity: base.Problem.Affinity}
+	}
+	return out
+}
+
+// SubtitleSentences returns n deterministic subtitle lines for the translation
+// scenario.
+func SubtitleSentences(n int) []string {
+	base := []string{
+		"Welcome to the morning news.",
+		"The river crossed the flood line last night.",
+		"Volunteers are gathering at the community center.",
+		"Please follow the instructions of the local authorities.",
+		"The road to the station remains closed.",
+		"Classes will resume next Monday.",
+		"The festival has been postponed by one week.",
+		"Thank you for watching and stay safe.",
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("%s (line %d)", base[i%len(base)], i+1)
+	}
+	return out
+}
+
+// TranslationCyLog builds the CyLog program for the video-subtitle translation
+// scenario over the given subtitle lines: transcribe → translate → check, the
+// sequential collaboration of Demo scenario 1.
+func TranslationCyLog(lines []string) string {
+	var b strings.Builder
+	b.WriteString(`// Video subtitle generation and translation (sequential collaboration).
+rel sentence(sid: int, text: string).
+open rel translated(sid: int, text: string) key(sid) asks "Translate this subtitle line into the target language" scheme "sequential".
+open rel checked(sid: int, ok: bool) key(sid) asks "Is this translation faithful and fluent?".
+rel pendingTranslation(sid: int).
+rel pendingCheck(sid: int, text: string).
+rel final(sid: int, text: string).
+
+pendingTranslation(S) :- sentence(S, _), translated(S, _).
+pendingCheck(S, T) :- translated(S, T), checked(S, _).
+final(S, T) :- translated(S, T), checked(S, true).
+`)
+	for i, line := range lines {
+		fmt.Fprintf(&b, "sentence(%d, %q).\n", i+1, line)
+	}
+	return b.String()
+}
+
+// TranslationProject builds the full project description for the translation
+// scenario.
+func TranslationProject(lines []string) project.Description {
+	return project.Description{
+		Name:        "Video subtitle translation",
+		Requester:   "demo",
+		Summary:     "Transcribe and translate video subtitles; workers improve each other's contributions (sequential collaboration).",
+		Scheme:      task.Sequential,
+		CyLogSource: TranslationCyLog(lines),
+		Factors: project.DesiredFactors{
+			Constraints: task.Constraints{
+				RequiredSkill: "translation", MinSkill: 0.3,
+				UpperCriticalMass: 3, MinTeamSize: 2,
+			},
+		},
+	}
+}
+
+// JournalismProject builds the citizen-journalism scenario: a simultaneous
+// collaboration where workers draft different sections of a report in
+// parallel. The complex task is created separately with JournalismTask.
+func JournalismProject() project.Description {
+	return project.Description{
+		Name:      "Citizen journalism",
+		Requester: "demo",
+		Summary:   "Write a short report on a topic of your choice; team members contribute to different parts of the same text simultaneously.",
+		Scheme:    task.Simultaneous,
+		Factors: project.DesiredFactors{
+			Constraints: task.Constraints{
+				RequiredSkill: "journalism", MinSkill: 0.3,
+				UpperCriticalMass: 4, MinTeamSize: 2,
+			},
+		},
+	}
+}
+
+// JournalismTask builds the complex report task with the given topic and
+// sections; decompose it with task.SectionDecomposer.
+func JournalismTask(topic string, sections []string) *task.Task {
+	t := task.NewTask("", "", fmt.Sprintf("Report on %s", topic), task.Simultaneous, task.Constraints{})
+	t.Input["topic"] = topic
+	t.Input["sections"] = strings.Join(sections, ",")
+	t.Form = task.TextForm("Write your part of the report")
+	return t
+}
+
+// SurveillanceProject builds the surveillance scenario: a hybrid collaboration
+// where facts are collected and corrected sequentially while testimonials are
+// provided simultaneously, over a region × time-period grid.
+func SurveillanceProject() project.Description {
+	return project.Description{
+		Name:      "Disaster surveillance",
+		Requester: "demo",
+		Summary:   "Collect facts and testimonials about the situation in different geographic regions and time periods (hybrid collaboration).",
+		Scheme:    task.Hybrid,
+		Factors: project.DesiredFactors{
+			Constraints: task.Constraints{
+				RequiredSkill: "surveillance", MinSkill: 0.3,
+				UpperCriticalMass: 4, MinTeamSize: 2,
+			},
+		},
+	}
+}
+
+// SurveillanceTask builds the complex surveillance task; decompose it with
+// task.GridDecomposer over the same regions and periods.
+func SurveillanceTask(regions, periods []string) *task.Task {
+	t := task.NewTask("", "", "Situation survey", task.Hybrid, task.Constraints{})
+	t.Input["regions"] = strings.Join(regions, ",")
+	t.Input["periods"] = strings.Join(periods, ",")
+	t.Form = task.TextForm("Report what you observed")
+	return t
+}
+
+// ReachabilityCyLog generates a CyLog program computing graph reachability
+// over a chain of n edges; it is the standard rule-engine stress workload for
+// experiment E6.
+func ReachabilityCyLog(n int) string {
+	var b strings.Builder
+	b.WriteString(`rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "edge(%d, %d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// EligibilityCyLog generates a CyLog program that derives worker-task
+// eligibility from language facts, sized by the number of workers and tasks;
+// used by the E6 throughput benchmark with a join-heavy, non-recursive shape.
+func EligibilityCyLog(workers, tasks int) string {
+	var b strings.Builder
+	b.WriteString(`rel worker(wid: int, lang: string).
+rel crowdtask(tid: int, lang: string).
+rel eligible(wid: int, tid: int).
+eligible(W, T) :- worker(W, L), crowdtask(T, L).
+`)
+	langs := []string{"en", "ja", "fr", "ar"}
+	for i := 0; i < workers; i++ {
+		fmt.Fprintf(&b, "worker(%d, %q).\n", i, langs[i%len(langs)])
+	}
+	for i := 0; i < tasks; i++ {
+		fmt.Fprintf(&b, "crowdtask(%d, %q).\n", i, langs[i%len(langs)])
+	}
+	return b.String()
+}
+
+// rng is a SplitMix64 generator local to the package for determinism.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }

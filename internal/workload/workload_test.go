@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/crowd4u/crowd4u-go/internal/assign"
+	"github.com/crowd4u/crowd4u-go/internal/cylog"
+	"github.com/crowd4u/crowd4u-go/internal/task"
+)
+
+func TestNewInstanceDeterministicAndFeasible(t *testing.T) {
+	spec := InstanceSpec{
+		Seed: 3, Workers: 30, Model: AffinityClustered, Clusters: 5,
+		Constraints: task.Constraints{UpperCriticalMass: 4, MinTeamSize: 2},
+	}
+	a, b := NewInstance(spec), NewInstance(spec)
+	if len(a.Workers) != 30 || len(a.Problem.Candidates) != 30 {
+		t.Fatalf("instance sizes wrong: %d workers", len(a.Workers))
+	}
+	for i := range a.Problem.Candidates {
+		if a.Problem.Candidates[i] != b.Problem.Candidates[i] {
+			t.Fatal("instances with the same seed should be identical")
+		}
+		s := a.Problem.Candidates[i].Skill
+		if s < 0.3 || s > 1.0 {
+			t.Errorf("skill %v out of range", s)
+		}
+	}
+	if a.Problem.Affinity.Get(a.Workers[0], a.Workers[1]) != b.Problem.Affinity.Get(b.Workers[0], b.Workers[1]) {
+		t.Error("affinities should be deterministic")
+	}
+	team, err := (assign.AffinityGreedy{}).FormTeam(a.Problem)
+	if err != nil {
+		t.Fatalf("generated instance should be solvable: %v", err)
+	}
+	if !assign.Feasible(a.Problem, team.Members) {
+		t.Error("greedy team should be feasible")
+	}
+}
+
+func TestNewInstanceAffinityModels(t *testing.T) {
+	meanAffinity := func(model AffinityModel) (same, cross float64) {
+		inst := NewInstance(InstanceSpec{Seed: 5, Workers: 20, Model: model, Clusters: 4,
+			Constraints: task.Constraints{UpperCriticalMass: 3}})
+		var sSum, cSum float64
+		var sN, cN int
+		for i := 0; i < len(inst.Workers); i++ {
+			for j := i + 1; j < len(inst.Workers); j++ {
+				v := inst.Problem.Affinity.Get(inst.Workers[i], inst.Workers[j])
+				if i%4 == j%4 {
+					sSum += v
+					sN++
+				} else {
+					cSum += v
+					cN++
+				}
+			}
+		}
+		return sSum / float64(sN), cSum / float64(cN)
+	}
+	same, cross := meanAffinity(AffinityClustered)
+	if same <= cross+0.3 {
+		t.Errorf("clustered model: in-cluster %.2f should clearly exceed cross-cluster %.2f", same, cross)
+	}
+	sameU, crossU := meanAffinity(AffinityUniformHigh)
+	if math.Abs(sameU-0.9) > 1e-9 || math.Abs(crossU-0.9) > 1e-9 {
+		t.Errorf("uniform-high should be 0.9 everywhere, got %.4f / %.4f", sameU, crossU)
+	}
+	sameR, crossR := meanAffinity(AffinityRandom)
+	if sameR < 0.2 || sameR > 0.8 || crossR < 0.2 || crossR > 0.8 {
+		t.Errorf("random affinities should average near 0.5, got %.2f / %.2f", sameR, crossR)
+	}
+}
+
+func TestNewInstanceDefaults(t *testing.T) {
+	inst := NewInstance(InstanceSpec{})
+	if len(inst.Workers) != 10 {
+		t.Errorf("default size = %d", len(inst.Workers))
+	}
+	if inst.Problem.Task.Constraints.UpperCriticalMass != task.DefaultCriticalMass {
+		t.Error("constraints should be normalized")
+	}
+}
+
+func TestMultiTaskBatch(t *testing.T) {
+	cons := task.Constraints{UpperCriticalMass: 3, MinTeamSize: 2}
+	batch := MultiTaskBatch(7, 50, 20, cons)
+	if len(batch) != 20 {
+		t.Fatalf("batch = %d", len(batch))
+	}
+	ids := make(map[task.ID]bool)
+	for _, p := range batch {
+		ids[p.Task.ID] = true
+		if len(p.Candidates) != 50 {
+			t.Errorf("candidates = %d", len(p.Candidates))
+		}
+	}
+	if len(ids) != 20 {
+		t.Error("task ids should be distinct")
+	}
+	// Shared population: same affinity object.
+	if batch[0].Affinity != batch[1].Affinity {
+		t.Error("batch should share one affinity matrix")
+	}
+}
+
+func TestSubtitleSentences(t *testing.T) {
+	lines := SubtitleSentences(12)
+	if len(lines) != 12 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	seen := make(map[string]bool)
+	for _, l := range lines {
+		if seen[l] {
+			t.Errorf("duplicate line %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestTranslationCyLogParsesAndRuns(t *testing.T) {
+	src := TranslationCyLog(SubtitleSentences(5))
+	prog, err := cylog.Parse(src)
+	if err != nil {
+		t.Fatalf("generated program does not parse: %v", err)
+	}
+	e, err := cylog.NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 5 {
+		t.Errorf("expected 5 translation requests, got %d", len(reqs))
+	}
+}
+
+func TestScenarioProjectsValidate(t *testing.T) {
+	projects := []struct {
+		name string
+		desc interface{ Validate() error }
+	}{
+		{"translation", ptr(TranslationProject(SubtitleSentences(3)))},
+		{"journalism", ptr(JournalismProject())},
+		{"surveillance", ptr(SurveillanceProject())},
+	}
+	for _, p := range projects {
+		if err := p.desc.Validate(); err != nil {
+			t.Errorf("%s project invalid: %v", p.name, err)
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestScenarioTasksDecompose(t *testing.T) {
+	jt := JournalismTask("city festival", []string{"intro", "events", "voices"})
+	pool := task.NewPool()
+	micro, err := (task.SectionDecomposer{}).Decompose(jt, func() task.ID { return pool.NextID("m") })
+	if err != nil || len(micro) != 3 {
+		t.Errorf("journalism decompose = %d, %v", len(micro), err)
+	}
+	st := SurveillanceTask([]string{"north", "south"}, []string{"am", "pm"})
+	micro, err = (task.GridDecomposer{Regions: []string{"north", "south"}, TimePeriods: []string{"am", "pm"}}).Decompose(st, func() task.ID { return pool.NextID("g") })
+	if err != nil || len(micro) != 4 {
+		t.Errorf("surveillance decompose = %d, %v", len(micro), err)
+	}
+}
+
+func TestReachabilityCyLog(t *testing.T) {
+	src := ReachabilityCyLog(10)
+	e, err := cylog.NewEngine(cylog.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain of 10 edges -> 10*11/2 = 55 reachable pairs.
+	if got := len(e.Facts("reach")); got != 55 {
+		t.Errorf("reach = %d, want 55", got)
+	}
+}
+
+func TestEligibilityCyLog(t *testing.T) {
+	src := EligibilityCyLog(8, 8)
+	if !strings.Contains(src, "eligible(W, T)") {
+		t.Fatalf("unexpected program: %s", src)
+	}
+	e, err := cylog.NewEngine(cylog.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 languages, 2 workers and 2 tasks each -> 4*2*2 = 16 eligible pairs.
+	if got := len(e.Facts("eligible")); got != 16 {
+		t.Errorf("eligible = %d, want 16", got)
+	}
+}
