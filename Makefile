@@ -1,0 +1,33 @@
+# Crowd4U-go build entry points. CI (.github/workflows/ci.yml) invokes these
+# same targets so local runs and CI are identical.
+
+GO        ?= go
+BENCHTIME ?= 1x
+PKGS      := ./...
+BENCHPKGS := ./internal/cylog/ ./internal/relstore/
+
+.PHONY: build test lint vet fmt bench ci
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test -race $(PKGS)
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet $(PKGS)
+
+lint: fmt vet
+
+# Smoke by default (BENCHTIME=1x); use `make bench BENCHTIME=2s` for real
+# measurements, and record baselines in BENCH_cylog.json.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=$(BENCHTIME) $(BENCHPKGS)
+
+ci: build lint test bench

@@ -1,0 +1,3 @@
+module github.com/crowd4u/crowd4u-go
+
+go 1.22

@@ -275,10 +275,12 @@ func newHybridTask() *task.Task {
 
 func TestHybridDefaultDataflow(t *testing.T) {
 	io := &scriptedIO{answers: map[StepKind]func(StepRequest) StepResponse{
-		StepFact:        textResponse("bridge damaged", 0.7),
-		StepCorrect:     textResponse("bridge damaged, road closed", 0.8),
-		StepTestimonial: func(req StepRequest) StepResponse { return StepResponse{Fields: map[string]string{"text": "I saw it from " + string(req.Worker)}, Quality: 0.6} },
-		StepCheck:       confirmResponse(true),
+		StepFact:    textResponse("bridge damaged", 0.7),
+		StepCorrect: textResponse("bridge damaged, road closed", 0.8),
+		StepTestimonial: func(req StepRequest) StepResponse {
+			return StepResponse{Fields: map[string]string{"text": "I saw it from " + string(req.Worker)}, Quality: 0.6}
+		},
+		StepCheck: confirmResponse(true),
 	}}
 	h := DefaultHybrid()
 	out, err := h.Run(newHybridTask(), team(4), io)

@@ -1,0 +1,133 @@
+package cylog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the evaluation pipeline. Three configurations are compared:
+//
+//   - naive:             Naive mode, scan joins (the slowest reference)
+//   - seminaive-scan:    SemiNaive mode, scan joins (the seed pipeline)
+//   - seminaive-indexed: SemiNaive mode, planned + index-probing joins
+//
+// The naive configuration re-derives the full closure every iteration, which
+// is quadratically worse; it only runs at the small size to keep the bench
+// smoke affordable. BENCH_cylog.json records baseline numbers.
+
+const tcProgram = `
+rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`
+
+// tcEngine loads `edges` edge facts forming disjoint chains of length 10, so
+// the closure stays linear in the input (10k edges -> 55k reach facts) and
+// the benchmark measures join work, not result materialisation.
+func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool) *Engine {
+	b.Helper()
+	e, err := NewEngine(MustParse(tcProgram))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetMode(mode)
+	e.SetIndexing(indexing)
+	const chain = 10
+	for i := 0; i < edges; i++ {
+		base := (i / chain) * (chain + 1)
+		e.AddFact("edge", base+i%chain, base+i%chain+1)
+	}
+	return e
+}
+
+func benchTC(b *testing.B, edges int, mode EvalMode, indexing bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := tcEngine(b, edges, mode, indexing)
+		b.StartTimer()
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if got := len(e.Facts("reach")); got != edges/10*55 {
+			b.Fatalf("reach = %d facts, want %d", got, edges/10*55)
+		}
+		if indexing && e.Stats().IndexHits == 0 {
+			b.Fatal("indexed run recorded no index hits")
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTransitiveClosure(b *testing.B) {
+	b.Run("naive-1k", func(b *testing.B) { benchTC(b, 1000, Naive, false) })
+	b.Run("seminaive-scan-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, false) })
+	b.Run("seminaive-indexed-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, true) })
+	b.Run("seminaive-scan-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, false) })
+	b.Run("seminaive-indexed-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true) })
+}
+
+// assignProgram is the Crowd4U task-assignment workload: route every task to
+// the workers holding its required skill who are not already busy.
+const assignProgram = `
+rel worker(w: int, skill: string).
+rel task(t: int, skill: string).
+rel busy(w: int).
+rel assignable(w: int, t: int).
+assignable(W, T) :- task(T, S), worker(W, S), !busy(W).
+`
+
+// assignEngine distributes `facts` total facts as 40% workers, 50% tasks and
+// 10% busy markers. The skill vocabulary scales with the input (facts/20) so
+// the per-skill fan-out — and with it the output size — stays constant and
+// the benchmark measures join work rather than result materialisation.
+func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool) *Engine {
+	b.Helper()
+	e, err := NewEngine(MustParse(assignProgram))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetMode(mode)
+	e.SetIndexing(indexing)
+	workers := facts * 4 / 10
+	tasks := facts * 5 / 10
+	busy := facts - workers - tasks
+	skills := facts / 20
+	for i := 0; i < workers; i++ {
+		e.AddFact("worker", i, fmt.Sprintf("skill%d", i%skills))
+	}
+	for i := 0; i < tasks; i++ {
+		e.AddFact("task", i, fmt.Sprintf("skill%d", i%skills))
+	}
+	for i := 0; i < busy; i++ {
+		e.AddFact("busy", i*3)
+	}
+	return e
+}
+
+func benchAssign(b *testing.B, facts int, mode EvalMode, indexing bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := assignEngine(b, facts, mode, indexing)
+		b.StartTimer()
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if len(e.Facts("assignable")) == 0 {
+			b.Fatal("no assignments derived")
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTaskAssignment(b *testing.B) {
+	b.Run("naive-1k", func(b *testing.B) { benchAssign(b, 1000, Naive, false) })
+	b.Run("scan-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, false) })
+	b.Run("indexed-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, true) })
+	b.Run("scan-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, false) })
+	b.Run("indexed-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true) })
+}

@@ -11,24 +11,24 @@ import (
 type tokenKind int
 
 const (
-	tokEOF tokenKind = iota
-	tokIdent           // lower-case identifier: relation names, keywords, symbol constants
-	tokVariable        // upper-case identifier or _
-	tokNumber          // integer or float literal
-	tokString          // double-quoted string literal
-	tokLParen          // (
-	tokRParen          // )
-	tokComma           // ,
-	tokDot             // .
-	tokColon           // :
-	tokImplies         // :-
-	tokBang            // !
-	tokEq              // =
-	tokNe              // !=
-	tokLt              // <
-	tokLe              // <=
-	tokGt              // >
-	tokGe              // >=
+	tokEOF      tokenKind = iota
+	tokIdent              // lower-case identifier: relation names, keywords, symbol constants
+	tokVariable           // upper-case identifier or _
+	tokNumber             // integer or float literal
+	tokString             // double-quoted string literal
+	tokLParen             // (
+	tokRParen             // )
+	tokComma              // ,
+	tokDot                // .
+	tokColon              // :
+	tokImplies            // :-
+	tokBang               // !
+	tokEq                 // =
+	tokNe                 // !=
+	tokLt                 // <
+	tokLe                 // <=
+	tokGt                 // >
+	tokGe                 // >=
 )
 
 func (k tokenKind) String() string {

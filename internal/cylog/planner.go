@@ -1,0 +1,168 @@
+package cylog
+
+import "sort"
+
+// This file implements the rule planner: a greedy, statistics-free join
+// orderer in the style of pattern-based Datalog engines (cf. janus-datalog's
+// reorder-plan-by-relations). For every rule evaluation the planner decides
+//
+//   - the order in which body literals are joined, and
+//   - which term positions of each atom are already bound when the atom is
+//     reached (its probe columns), so the engine can answer the join with an
+//     indexed equality lookup instead of a full-relation scan.
+//
+// Reordering is only ever applied to positive atoms over *closed* relations,
+// because the engine's observable behaviour depends on the evaluation
+// position of everything else:
+//
+//   - open atoms generate human task requests from the bindings that reach
+//     them, so the set of literals evaluated before an open atom must stay
+//     exactly as written;
+//   - negated atoms and comparisons filter with respect to the variables
+//     bound at their textual position (an unbound comparison drops bindings;
+//     a partially bound negation matches more broadly), so moving them would
+//     change rule semantics.
+//
+// Those literals therefore act as barriers: they stay in source order, and
+// the planner greedily reorders only the runs of closed positive atoms
+// between them. Within a run the choice is boundness-driven — atoms whose
+// join columns are already bound come first (they can be answered by an index
+// probe), ties broken by estimated cardinality, then by source position so
+// plans are deterministic and stable.
+
+// planStep is one body literal in execution order.
+type planStep struct {
+	lit Literal
+	// bodyIndex is the literal's position in the original rule body (used to
+	// recognise the semi-naive delta atom and for stable ordering).
+	bodyIndex int
+	// probeCols lists the term positions of an atom that are bound when the
+	// step runs: positions holding constants or variables bound by earlier
+	// steps. The engine turns them into indexed equality probes. Empty for
+	// comparisons and for atoms with no bound positions.
+	probeCols []int
+}
+
+// planCatalog supplies the planner with the catalog facts it needs: which
+// relations are open, and the current cardinality of a relation (the
+// selectivity estimate for unbound atoms).
+type planCatalog struct {
+	isOpen func(predicate string) bool
+	card   func(predicate string) int
+}
+
+// planRule orders the body of r for one evaluation pass. deltaAtom is the
+// body index of the atom restricted to the semi-naive delta (-1 for a full
+// pass); within its run the delta atom is always scheduled first, since the
+// delta frontier is the smallest and most selective input of the pass.
+func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
+	bound := make(map[string]bool)
+	steps := make([]planStep, 0, len(r.Body))
+
+	var run []int // body indexes of the current run of reorderable atoms
+	flush := func() {
+		for len(run) > 0 {
+			best := pickAtom(r, run, deltaAtom, bound, cat)
+			atom := r.Body[run[best]].(*Atom)
+			steps = append(steps, planStep{
+				lit:       atom,
+				bodyIndex: run[best],
+				probeCols: probeColumns(atom, bound),
+			})
+			bindAtomVars(atom, bound)
+			run = append(run[:best], run[best+1:]...)
+		}
+	}
+
+	for i, lit := range r.Body {
+		if atom, ok := lit.(*Atom); ok && !atom.Negated && !cat.isOpen(atom.Predicate) {
+			run = append(run, i)
+			continue
+		}
+		flush()
+		step := planStep{lit: lit, bodyIndex: i}
+		if atom, ok := lit.(*Atom); ok {
+			step.probeCols = probeColumns(atom, bound)
+			if !atom.Negated {
+				bindAtomVars(atom, bound)
+			}
+		}
+		steps = append(steps, step)
+	}
+	flush()
+	return steps
+}
+
+// identityPlan returns the body in source order with no probe columns — the
+// seed scan-evaluation path, used when indexing is disabled and as the
+// reference side of differential tests.
+func identityPlan(r *Rule) []planStep {
+	steps := make([]planStep, len(r.Body))
+	for i, lit := range r.Body {
+		steps[i] = planStep{lit: lit, bodyIndex: i}
+	}
+	return steps
+}
+
+// pickAtom returns the index into run of the atom to schedule next: the delta
+// atom if present, otherwise the atom with the most bound term positions,
+// ties broken by smaller relation cardinality, then by source position.
+func pickAtom(r *Rule, run []int, deltaAtom int, bound map[string]bool, cat planCatalog) int {
+	type score struct {
+		runIndex  int
+		boundCols int
+		card      int
+		bodyIndex int
+	}
+	scores := make([]score, len(run))
+	for i, bi := range run {
+		if bi == deltaAtom {
+			return i
+		}
+		atom := r.Body[bi].(*Atom)
+		scores[i] = score{
+			runIndex:  i,
+			boundCols: len(probeColumns(atom, bound)),
+			card:      cat.card(atom.Predicate),
+			bodyIndex: bi,
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		a, b := scores[i], scores[j]
+		if a.boundCols != b.boundCols {
+			return a.boundCols > b.boundCols
+		}
+		if a.card != b.card {
+			return a.card < b.card
+		}
+		return a.bodyIndex < b.bodyIndex
+	})
+	return scores[0].runIndex
+}
+
+// probeColumns returns the term positions of the atom holding constants or
+// variables already bound, i.e. the columns an equality probe can constrain.
+// Repeated variables contribute every position once the variable is bound.
+func probeColumns(a *Atom, bound map[string]bool) []int {
+	var cols []int
+	for i, term := range a.Terms {
+		switch tm := term.(type) {
+		case Constant:
+			cols = append(cols, i)
+		case Variable:
+			if !tm.Anonymous() && bound[string(tm)] {
+				cols = append(cols, i)
+			}
+		}
+	}
+	return cols
+}
+
+// bindAtomVars marks the atom's variables as bound after it is scheduled.
+func bindAtomVars(a *Atom, bound map[string]bool) {
+	for _, v := range a.Variables() {
+		if v != "_" {
+			bound[v] = true
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package cylog
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// testCatalog builds a planCatalog from static cardinalities and an open set.
+func testCatalog(card map[string]int, open ...string) planCatalog {
+	openSet := make(map[string]bool, len(open))
+	for _, o := range open {
+		openSet[o] = true
+	}
+	return planCatalog{
+		isOpen: func(p string) bool { return openSet[p] },
+		card:   func(p string) int { return card[p] },
+	}
+}
+
+func planOrder(steps []planStep) []int {
+	out := make([]int, len(steps))
+	for i, s := range steps {
+		out[i] = s.bodyIndex
+	}
+	return out
+}
+
+func TestPlannerBoundnessDrivenOrder(t *testing.T) {
+	// big is huge but its first column is bound by small, so after small is
+	// joined the planner should prefer probing big over scanning mid.
+	p := MustParse(`
+rel small(x: int).
+rel mid(y: int, z: int).
+rel big(x: int, y: int).
+rel out(x: int, z: int).
+out(X, Z) :- mid(Y, Z), big(X, Y), small(X).
+`)
+	r := p.Rules[0]
+	cat := testCatalog(map[string]int{"small": 10, "mid": 500, "big": 100000})
+	steps := planRule(r, -1, cat)
+	// Greedy: nothing bound yet -> smallest relation first (small, card 10).
+	// That binds X -> big has one bound column, mid none -> big next, then mid.
+	want := []int{2, 1, 0}
+	got := planOrder(steps)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("plan order = %v, want %v", got, want)
+		}
+	}
+	// big is reached with X bound: probe column 0.
+	if len(steps[1].probeCols) != 1 || steps[1].probeCols[0] != 0 {
+		t.Errorf("big probeCols = %v, want [0]", steps[1].probeCols)
+	}
+	// mid is reached with Y bound (from big): probe column 0.
+	if len(steps[2].probeCols) != 1 || steps[2].probeCols[0] != 0 {
+		t.Errorf("mid probeCols = %v, want [0]", steps[2].probeCols)
+	}
+}
+
+func TestPlannerConstantsCountAsBound(t *testing.T) {
+	p := MustParse(`
+rel worker(w: string, lang: string).
+rel sentence(s: int, text: string).
+rel eligible(w: string, s: int).
+eligible(W, S) :- sentence(S, _), worker(W, "en").
+`)
+	r := p.Rules[0]
+	// worker is larger, but its constant-bound column makes it probeable, so
+	// it is scheduled first.
+	cat := testCatalog(map[string]int{"worker": 1000, "sentence": 100})
+	steps := planRule(r, -1, cat)
+	if got := planOrder(steps); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("plan order = %v, want [1 0]", got)
+	}
+	if len(steps[0].probeCols) != 1 || steps[0].probeCols[0] != 1 {
+		t.Errorf("worker probeCols = %v, want [1]", steps[0].probeCols)
+	}
+}
+
+func TestPlannerIsStable(t *testing.T) {
+	p := MustParse(`
+rel a(x: int).
+rel b(x: int).
+rel c(x: int).
+rel out(x: int).
+out(X) :- a(X), b(X), c(X).
+`)
+	r := p.Rules[0]
+	// Equal cardinalities: ties resolve by source position, and repeated
+	// planning yields the identical order.
+	cat := testCatalog(map[string]int{"a": 7, "b": 7, "c": 7})
+	first := planOrder(planRule(r, -1, cat))
+	want := []int{0, 1, 2}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("tie-broken order = %v, want %v", first, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		again := planOrder(planRule(r, -1, cat))
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("plan not stable: %v vs %v", again, first)
+			}
+		}
+	}
+}
+
+func TestPlannerDeltaAtomFirst(t *testing.T) {
+	p := MustParse(`
+rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`)
+	r := p.Rules[0]
+	// Even though edge is (claimed) far smaller than reach, the delta-
+	// restricted atom leads its run: the delta frontier is the real input.
+	cat := testCatalog(map[string]int{"reach": 100000, "edge": 10})
+	steps := planRule(r, 0, cat)
+	if got := planOrder(steps); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("delta plan order = %v, want [0 1]", got)
+	}
+	// edge is then probed on its first column (Y bound by the delta atom).
+	if len(steps[1].probeCols) != 1 || steps[1].probeCols[0] != 0 {
+		t.Errorf("edge probeCols = %v, want [0]", steps[1].probeCols)
+	}
+}
+
+func TestPlannerBarriersStayInSourceOrder(t *testing.T) {
+	p := MustParse(`
+rel sentence(s: int).
+rel done(s: int).
+open rel translated(s: int, text: string) key(s) asks "translate".
+rel pending(s: int).
+pending(S) :- sentence(S), translated(S, _), !done(S), S > 0.
+`)
+	r := p.Rules[0]
+	cat := testCatalog(map[string]int{"sentence": 50, "done": 50, "translated": 0}, "translated")
+	steps := planRule(r, -1, cat)
+	got := planOrder(steps)
+	want := []int{0, 1, 2, 3} // open atom, negation and comparison are pinned
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("barrier order = %v, want %v", got, want)
+		}
+	}
+	// The negated atom still gets probe columns from the bound set.
+	if len(steps[2].probeCols) != 1 || steps[2].probeCols[0] != 0 {
+		t.Errorf("negated done probeCols = %v, want [0]", steps[2].probeCols)
+	}
+}
+
+func TestPlannerIdentityPlanPreservesBody(t *testing.T) {
+	p := MustParse(`
+rel a(x: int).
+rel b(x: int).
+rel out(x: int).
+out(X) :- b(X), a(X), X > 0.
+`)
+	steps := identityPlan(p.Rules[0])
+	if got := planOrder(steps); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("identity order = %v", got)
+	}
+	for _, s := range steps {
+		if s.probeCols != nil {
+			t.Errorf("identity plan should carry no probe columns, got %v", s.probeCols)
+		}
+	}
+}
+
+func TestEngineIndexHitsCounted(t *testing.T) {
+	src := `
+rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`
+	e, err := NewEngine(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IndexingEnabled() {
+		t.Fatal("indexing should be enabled by default")
+	}
+	// Enough edges to clear the auto-index threshold.
+	for i := 0; i < 4*autoIndexMinRows; i++ {
+		e.AddFact("edge", i, i+1)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.IndexProbes == 0 || s.IndexHits == 0 {
+		t.Errorf("planner did not engage: stats = %+v", s)
+	}
+	if s.IndexHits > s.IndexProbes {
+		t.Errorf("hits (%d) cannot exceed probes (%d)", s.IndexHits, s.IndexProbes)
+	}
+	// The recurring bound join key on edge(a) earned an index.
+	if !e.Database().Relation("edge").HasIndex("a") {
+		t.Errorf("edge should have an auto-created index on a; has %v",
+			e.Database().Relation("edge").IndexedColumns())
+	}
+
+	// The scan path reports scans and no probes.
+	e2, _ := NewEngine(MustParse(src))
+	e2.SetIndexing(false)
+	for i := 0; i < 4*autoIndexMinRows; i++ {
+		e2.AddFact("edge", i, i+1)
+	}
+	e2.Run()
+	s2 := e2.Stats()
+	if s2.IndexProbes != 0 || s2.IndexHits != 0 {
+		t.Errorf("scan path should not probe: stats = %+v", s2)
+	}
+	if s2.FullScans == 0 {
+		t.Errorf("scan path should report full scans: stats = %+v", s2)
+	}
+}
+
+func TestEngineSmallRelationsAreNotIndexed(t *testing.T) {
+	e, err := NewEngine(MustParse(`
+rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < autoIndexMinRows/2; i++ {
+		e.AddFact("edge", i, i+1)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Database().Relation("edge").IndexedColumns()) != 0 {
+		t.Errorf("tiny relation should not be auto-indexed: %v",
+			e.Database().Relation("edge").IndexedColumns())
+	}
+}
+
+// TestEngineIndexedAndScanFixpointsAgree is the differential test of the
+// tentpole: on randomized programs the planned, index-probing pipeline must
+// derive byte-identical fixpoints to the source-order scan path.
+func TestEngineIndexedAndScanFixpointsAgree(t *testing.T) {
+	src := `
+rel edge(a: int, b: int).
+rel label(a: int, l: string).
+rel reach(a: int, b: int).
+rel tagged(a: int, b: int, l: string).
+rel far(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+tagged(X, Y, L) :- reach(X, Y), label(Y, L).
+far(X, Y) :- reach(X, Y), !edge(X, Y), X != Y.
+`
+	labels := []string{"red", "green", "blue"}
+	f := func(edges []uint8, labeled []uint8) bool {
+		fingerprint := func(indexing bool) string {
+			e, err := NewEngine(MustParse(src))
+			if err != nil {
+				return "parse-error"
+			}
+			e.SetIndexing(indexing)
+			for i := 0; i+1 < len(edges); i += 2 {
+				e.AddFact("edge", int(edges[i]%16), int(edges[i+1]%16))
+			}
+			for _, n := range labeled {
+				e.AddFact("label", int(n%16), labels[int(n)%len(labels)])
+			}
+			if _, err := e.Run(); err != nil {
+				return "run-error"
+			}
+			out := ""
+			for _, rel := range []string{"reach", "tagged", "far"} {
+				out += rel + ":"
+				for _, tup := range e.Facts(rel) {
+					out += tup.Key() + ";"
+				}
+			}
+			return out
+		}
+		return fingerprint(true) == fingerprint(false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineIndexedAndScanRequestsAgree checks the other observable output of
+// evaluation — open task requests — is order-insensitive too, i.e. barrier
+// handling preserves request generation exactly.
+func TestEngineIndexedAndScanRequestsAgree(t *testing.T) {
+	src := `
+rel sentence(sid: int, text: string).
+open rel translated(sid: int, text: string) key(sid) asks "translate".
+rel pending(sid: int).
+pending(S) :- sentence(S, _), translated(S, _).
+`
+	f := func(sids []uint8) bool {
+		requests := func(indexing bool) string {
+			e, err := NewEngine(MustParse(src))
+			if err != nil {
+				return "parse-error"
+			}
+			e.SetIndexing(indexing)
+			for _, s := range sids {
+				e.AddFact("sentence", int(s%32), fmt.Sprintf("s%d", s))
+			}
+			reqs, err := e.Run()
+			if err != nil {
+				return "run-error"
+			}
+			out := ""
+			for _, r := range reqs {
+				out += r.ID + ";"
+			}
+			return out
+		}
+		return requests(true) == requests(false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package relstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchRelation builds a relation of n rows over 100 distinct (a) values and
+// 1000 distinct (a, b) combinations.
+func benchRelation(n int) *Relation {
+	r := NewRelation("bench", MustSchema("a:int", "b:int", "payload:string"))
+	for i := 0; i < n; i++ {
+		r.MustInsert(i%100, i%1000/100, fmt.Sprintf("row%d", i))
+	}
+	return r
+}
+
+func BenchmarkSelectEq(b *testing.B) {
+	const n = 10000
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "indexed"
+		}
+		b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+			r := benchRelation(n)
+			if indexed {
+				if err := r.CreateIndex("a"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := r.SelectEq("a", Int(int64(i%100))); len(got) != n/100 {
+					b.Fatalf("SelectEq = %d rows", len(got))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSelectEqMulti(b *testing.B) {
+	const n = 10000
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "indexed"
+		}
+		b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+			r := benchRelation(n)
+			if indexed {
+				if err := r.CreateIndex("a", "b"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cols := []string{"a", "b"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := r.SelectEqMulti(cols, []Value{Int(int64(i % 100)), Int(int64(i % 10))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != n/1000 {
+					b.Fatalf("SelectEqMulti = %d rows", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanEq measures the allocation-light probe primitive the CyLog
+// join loop uses (no result sorting or slice materialisation).
+func BenchmarkScanEq(b *testing.B) {
+	const n = 10000
+	r := benchRelation(n)
+	if err := r.CreateIndex("a", "b"); err != nil {
+		b.Fatal(err)
+	}
+	cols := []string{"a", "b"}
+	vals := make([]Value, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals[0], vals[1] = Int(int64(i%100)), Int(int64(i%10))
+		matches := 0
+		if _, err := r.ScanEq(cols, vals, func(Tuple) bool { matches++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if matches != n/1000 {
+			b.Fatalf("ScanEq matched %d rows", matches)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package relstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newAssignRelation() *Relation {
+	r := NewRelation("assign", MustSchema("worker:string", "task:int", "score:float"))
+	r.MustInsert("alice", 1, 0.9)
+	r.MustInsert("alice", 2, 0.5)
+	r.MustInsert("bob", 1, 0.7)
+	r.MustInsert("bob", 3, 0.8)
+	r.MustInsert("carol", 2, 0.6)
+	return r
+}
+
+func TestCompositeIndexLookup(t *testing.T) {
+	r := newAssignRelation()
+	cols := []string{"worker", "task"}
+	vals := []Value{String("alice"), Int(2)}
+
+	noIdx, err := r.SelectEqMulti(cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noIdx) != 1 {
+		t.Fatalf("SelectEqMulti without index = %v", noIdx)
+	}
+	if err := r.CreateIndex("worker", "task"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasIndex("worker", "task") || !r.HasIndex("task", "worker") {
+		t.Error("composite index should be order-insensitive")
+	}
+	if r.HasIndex("worker") {
+		t.Error("a composite index is not a single-column index")
+	}
+	withIdx, err := r.SelectEqMulti(cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withIdx) != 1 || !withIdx[0].Equal(noIdx[0]) {
+		t.Errorf("indexed SelectEqMulti = %v, want %v", withIdx, noIdx)
+	}
+	// Column order in the query must not matter either.
+	swapped, err := r.SelectEqMulti([]string{"task", "worker"}, []Value{Int(2), String("alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swapped) != 1 || !swapped[0].Equal(noIdx[0]) {
+		t.Errorf("swapped-column SelectEqMulti = %v", swapped)
+	}
+}
+
+func TestCompositeIndexMaintenance(t *testing.T) {
+	r := newAssignRelation()
+	if err := r.CreateIndex("worker", "task"); err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert("dave", 1, 0.4)
+	if got, _ := r.SelectEqMulti([]string{"worker", "task"}, []Value{String("dave"), Int(1)}); len(got) != 1 {
+		t.Errorf("insert not reflected in index: %v", got)
+	}
+	if ok, _ := r.Delete(NewTuple("alice", 2, 0.5)); !ok {
+		t.Fatal("delete failed")
+	}
+	if got, _ := r.SelectEqMulti([]string{"worker", "task"}, []Value{String("alice"), Int(2)}); len(got) != 0 {
+		t.Errorf("delete not reflected in index: %v", got)
+	}
+	r.Clear()
+	if got, _ := r.SelectEqMulti([]string{"worker", "task"}, []Value{String("bob"), Int(1)}); len(got) != 0 {
+		t.Errorf("clear not reflected in index: %v", got)
+	}
+	// The index definition survives Clear and keeps working.
+	r.MustInsert("erin", 9, 1.0)
+	if got, _ := r.SelectEqMulti([]string{"worker", "task"}, []Value{String("erin"), Int(9)}); len(got) != 1 {
+		t.Errorf("index dead after clear: %v", got)
+	}
+}
+
+func TestCompositeIndexClone(t *testing.T) {
+	r := newAssignRelation()
+	r.CreateIndex("worker", "task")
+	r.CreateIndex("task")
+	c := r.Clone()
+	if !c.HasIndex("worker", "task") || !c.HasIndex("task") {
+		t.Fatalf("clone lost indexes: %v", c.IndexedColumns())
+	}
+	got, err := c.SelectEqMulti([]string{"worker", "task"}, []Value{String("bob"), Int(3)})
+	if err != nil || len(got) != 1 {
+		t.Errorf("clone composite lookup = %v (%v)", got, err)
+	}
+	// Mutating the clone must not affect the original.
+	c.MustInsert("zed", 7, 0.1)
+	if r.Len() == c.Len() {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestPositionBasedIndexAPI(t *testing.T) {
+	r := newAssignRelation()
+	if r.HasIndexAt([]int{0, 1}) {
+		t.Error("no index exists yet")
+	}
+	if err := r.EnsureIndexAt([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasIndexAt([]int{0, 1}) || !r.HasIndex("worker", "task") {
+		t.Error("position-built index should be visible to both APIs")
+	}
+	if err := r.EnsureIndexAt([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IndexedColumns(); len(got) != 1 {
+		t.Errorf("EnsureIndexAt created duplicates: %v", got)
+	}
+	// The built index answers probes and stays maintained.
+	r.MustInsert("frank", 4, 0.2)
+	n := 0
+	idx, err := r.ScanEqAt([]int{0, 1}, []Value{String("frank"), Int(4)}, func(Tuple) bool { n++; return true })
+	if err != nil || !idx || n != 1 {
+		t.Errorf("ScanEqAt via EnsureIndexAt index: indexed=%v n=%d err=%v", idx, n, err)
+	}
+	if err := r.EnsureIndexAt([]int{1, 0}); err == nil {
+		t.Error("descending positions should fail")
+	}
+	if err := r.EnsureIndexAt(nil); err == nil {
+		t.Error("empty positions should fail")
+	}
+	if r.HasIndexAt([]int{9}) {
+		t.Error("out-of-range position should report false")
+	}
+}
+
+func TestEnsureIndexIdempotent(t *testing.T) {
+	r := newAssignRelation()
+	if err := r.EnsureIndex("worker", "task"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnsureIndex("task", "worker"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IndexedColumns(); len(got) != 1 {
+		t.Errorf("EnsureIndex created duplicates: %v", got)
+	}
+}
+
+func TestIndexedColumnsMetadata(t *testing.T) {
+	r := newAssignRelation()
+	if got := r.IndexedColumns(); len(got) != 0 {
+		t.Fatalf("fresh relation reports indexes: %v", got)
+	}
+	r.CreateIndex("score")
+	r.CreateIndex("task", "worker")
+	got := r.IndexedColumns()
+	if len(got) != 2 {
+		t.Fatalf("IndexedColumns = %v", got)
+	}
+	// Sets come back sorted by column position: (worker,task) then (score).
+	if got[0][0] != "worker" || got[0][1] != "task" || got[1][0] != "score" {
+		t.Errorf("IndexedColumns = %v", got)
+	}
+}
+
+func TestScanEqEdgeCases(t *testing.T) {
+	r := newAssignRelation()
+	if _, err := r.ScanEq([]string{"worker"}, nil, func(Tuple) bool { return true }); err == nil {
+		t.Error("mismatched columns/values should fail")
+	}
+	if _, err := r.ScanEq(nil, nil, func(Tuple) bool { return true }); err == nil {
+		t.Error("zero columns should fail, not panic")
+	}
+	if _, err := r.SelectEqMulti(nil, nil); err == nil {
+		t.Error("SelectEqMulti with no columns should fail")
+	}
+	if _, err := r.ScanEqAt([]int{5}, []Value{Int(1)}, func(Tuple) bool { return true }); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+	if _, err := r.ScanEqAt([]int{1, 0}, []Value{Int(1), Int(2)}, func(Tuple) bool { return true }); err == nil {
+		t.Error("descending positions should fail")
+	}
+	if _, err := r.ScanEq([]string{"nope"}, []Value{Int(1)}, func(Tuple) bool { return true }); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := r.CreateIndex(); err == nil {
+		t.Error("CreateIndex with no columns should fail")
+	}
+	if r.HasIndex("nope") {
+		t.Error("HasIndex on unknown column should be false")
+	}
+	// Duplicate column with equal values collapses; with conflicting values
+	// nothing can match.
+	n := 0
+	if _, err := r.ScanEq([]string{"task", "task"}, []Value{Int(1), Int(1)}, func(Tuple) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("duplicate equal constraint matched %d rows, want 2", n)
+	}
+	n = 0
+	if _, err := r.ScanEq([]string{"task", "task"}, []Value{Int(1), Int(2)}, func(Tuple) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("conflicting constraint matched %d rows, want 0", n)
+	}
+	// Early termination stops the scan.
+	n = 0
+	r.ScanEq([]string{"task"}, []Value{Int(1)}, func(Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop scanned %d rows, want 1", n)
+	}
+}
+
+// TestSelectEqMultiMatchesScan quick-checks that indexed composite lookups
+// return exactly the tuples a predicate scan returns, over random data.
+func TestSelectEqMultiMatchesScan(t *testing.T) {
+	f := func(rows []uint8, probeA, probeB uint8) bool {
+		r := NewRelation("t", MustSchema("a:int", "b:int"))
+		for i := 0; i+1 < len(rows); i += 2 {
+			r.MustInsert(int(rows[i]%8), int(rows[i+1]%8))
+		}
+		if err := r.CreateIndex("a", "b"); err != nil {
+			return false
+		}
+		va, vb := Int(int64(probeA%8)), Int(int64(probeB%8))
+		indexed, err := r.SelectEqMulti([]string{"a", "b"}, []Value{va, vb})
+		if err != nil {
+			return false
+		}
+		scanned := r.Select(func(t Tuple) bool { return t[0].Equal(va) && t[1].Equal(vb) })
+		if len(indexed) != len(scanned) {
+			return false
+		}
+		for i := range indexed {
+			if !indexed[i].Equal(scanned[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -104,9 +104,9 @@ func parseField(s string, t Type) Value {
 
 // relationJSON is the wire format used by ExportJSON/ImportJSON.
 type relationJSON struct {
-	Name    string           `json:"name"`
-	Columns []columnJSON     `json:"columns"`
-	Rows    [][]any          `json:"rows"`
+	Name    string       `json:"name"`
+	Columns []columnJSON `json:"columns"`
+	Rows    [][]any      `json:"rows"`
 }
 
 type columnJSON struct {

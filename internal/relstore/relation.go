@@ -2,12 +2,79 @@ package relstore
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
+// index is a hash index over one or more columns. Buckets map the combined
+// hash of the indexed column values to the keys of the tuples holding them;
+// lookups re-verify equality to tolerate hash collisions.
+type index struct {
+	cols    []int // column positions, sorted ascending
+	buckets map[uint64][]string
+}
+
+// indexKey canonically names an index by its sorted column positions, so an
+// index on (a, b) and one on (b, a) are the same index.
+func indexKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// hashValues combines the hashes of the values in order; single values hash
+// to their own hash so one-column composite indexes match the historic
+// per-column index layout.
+func hashValues(vals ...Value) uint64 {
+	if len(vals) == 1 {
+		return vals[0].Hash()
+	}
+	h := fnv.New64a()
+	for _, v := range vals {
+		writeUint64(h, v.Hash())
+	}
+	return h.Sum64()
+}
+
+// hashAt combines the hashes of the tuple's values at the given positions.
+func hashAt(t Tuple, cols []int) uint64 {
+	if len(cols) == 1 {
+		return t[cols[0]].Hash()
+	}
+	h := fnv.New64a()
+	for _, c := range cols {
+		writeUint64(h, t[c].Hash())
+	}
+	return h.Sum64()
+}
+
+func (ix *index) insert(key string, t Tuple) {
+	h := hashAt(t, ix.cols)
+	ix.buckets[h] = append(ix.buckets[h], key)
+}
+
+func (ix *index) remove(key string, t Tuple) {
+	h := hashAt(t, ix.cols)
+	keys := ix.buckets[h]
+	for i, k := range keys {
+		if k == key {
+			ix.buckets[h] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	if len(ix.buckets[h]) == 0 {
+		delete(ix.buckets, h)
+	}
+}
+
 // Relation is a named, schema-typed set of tuples with optional hash indexes
-// on individual columns. All operations are safe for concurrent use.
+// on single columns or column combinations. All operations are safe for
+// concurrent use.
 //
 // Relations have set semantics: inserting a tuple equal to an existing one is
 // a no-op and Insert reports false.
@@ -16,8 +83,8 @@ type Relation struct {
 	schema *Schema
 
 	mu      sync.RWMutex
-	rows    map[string]Tuple      // key -> tuple
-	indexes map[int]map[uint64][]string // column -> value hash -> tuple keys
+	rows    map[string]Tuple  // key -> tuple
+	indexes map[string]*index // indexKey -> composite hash index
 	version uint64
 }
 
@@ -27,7 +94,7 @@ func NewRelation(name string, schema *Schema) *Relation {
 		name:    name,
 		schema:  schema,
 		rows:    make(map[string]Tuple),
-		indexes: make(map[int]map[uint64][]string),
+		indexes: make(map[string]*index),
 	}
 }
 
@@ -37,7 +104,8 @@ func (r *Relation) Name() string { return r.name }
 // Schema returns the relation schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 
-// Len returns the number of tuples.
+// Len returns the number of tuples (the relation's cardinality; query
+// planners use it as the base selectivity estimate).
 func (r *Relation) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -52,34 +120,150 @@ func (r *Relation) Version() uint64 {
 	return r.version
 }
 
-// CreateIndex builds (or rebuilds) a hash index on the named column. Lookups
-// via SelectEq on an indexed column avoid a full scan.
-func (r *Relation) CreateIndex(column string) error {
-	ci := r.schema.ColumnIndex(column)
-	if ci < 0 {
-		return fmt.Errorf("relstore: relation %q has no column %q", r.name, column)
+// columnPositions resolves column names to sorted, de-duplicated positions.
+func (r *Relation) columnPositions(columns []string) ([]int, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("relstore: index on relation %q needs at least one column", r.name)
+	}
+	cols := make([]int, 0, len(columns))
+	for _, c := range columns {
+		ci := r.schema.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("relstore: relation %q has no column %q", r.name, c)
+		}
+		cols = append(cols, ci)
+	}
+	sort.Ints(cols)
+	dedup := cols[:1]
+	for _, c := range cols[1:] {
+		if c != dedup[len(dedup)-1] {
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup, nil
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named columns. A
+// single column gives the classic per-column index; multiple columns build a
+// composite index probed by SelectEqMulti. Indexes are maintained
+// incrementally by Insert, Delete and Clear, and carried over by Clone.
+func (r *Relation) CreateIndex(columns ...string) error {
+	cols, err := r.columnPositions(columns)
+	if err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	idx := make(map[uint64][]string)
+	ix := &index{cols: cols, buckets: make(map[uint64][]string)}
 	for key, t := range r.rows {
-		h := t[ci].Hash()
-		idx[h] = append(idx[h], key)
+		ix.insert(key, t)
 	}
-	r.indexes[ci] = idx
+	r.indexes[indexKey(cols)] = ix
 	return nil
 }
 
-// HasIndex reports whether an index exists on the named column.
-func (r *Relation) HasIndex(column string) bool {
-	ci := r.schema.ColumnIndex(column)
-	if ci < 0 {
+// EnsureIndex creates an index on the named columns unless one already
+// exists. It is the idempotent variant used by the CyLog planner when it
+// decides a recurring bound join key deserves an index.
+func (r *Relation) EnsureIndex(columns ...string) error {
+	cols, err := r.columnPositions(columns)
+	if err != nil {
+		return err
+	}
+	r.mu.RLock()
+	_, ok := r.indexes[indexKey(cols)]
+	r.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	return r.CreateIndex(columns...)
+}
+
+// HasIndex reports whether an index exists on exactly the named column set
+// (order-insensitive).
+func (r *Relation) HasIndex(columns ...string) bool {
+	cols, err := r.columnPositions(columns)
+	if err != nil {
 		return false
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.indexes[ci]
+	_, ok := r.indexes[indexKey(cols)]
 	return ok
+}
+
+// checkPositions validates that positions are strictly ascending and within
+// the schema arity — the contract of the position-based index and probe APIs.
+func (r *Relation) checkPositions(positions []int) error {
+	if len(positions) == 0 {
+		return fmt.Errorf("relstore: relation %q needs at least one column position", r.name)
+	}
+	arity := r.schema.Arity()
+	for i, p := range positions {
+		if p < 0 || p >= arity {
+			return fmt.Errorf("relstore: position %d out of range for relation %q", p, r.name)
+		}
+		if i > 0 && p <= positions[i-1] {
+			return fmt.Errorf("relstore: positions must be strictly ascending, got %v", positions)
+		}
+	}
+	return nil
+}
+
+// HasIndexAt reports whether an index exists on exactly the given column
+// positions (strictly ascending). It is the allocation-free variant of
+// HasIndex for callers that already hold resolved positions.
+func (r *Relation) HasIndexAt(positions []int) bool {
+	if r.checkPositions(positions) != nil {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.indexes[indexKey(positions)]
+	return ok
+}
+
+// EnsureIndexAt creates an index on the given column positions (strictly
+// ascending) unless one already exists — EnsureIndex for callers that
+// already hold resolved positions.
+func (r *Relation) EnsureIndexAt(positions []int) error {
+	if err := r.checkPositions(positions); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := indexKey(positions)
+	if _, ok := r.indexes[k]; ok {
+		return nil
+	}
+	ix := &index{cols: append([]int(nil), positions...), buckets: make(map[uint64][]string)}
+	for key, t := range r.rows {
+		ix.insert(key, t)
+	}
+	r.indexes[k] = ix
+	return nil
+}
+
+// IndexedColumns returns the column-name sets of all indexes, each sorted by
+// column position, the sets ordered deterministically. It is the index
+// metadata the CyLog planner and tests inspect.
+func (r *Relation) IndexedColumns() [][]string {
+	r.mu.RLock()
+	ixs := make([]*index, 0, len(r.indexes))
+	for _, ix := range r.indexes {
+		ixs = append(ixs, ix)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ixs, func(i, j int) bool { return indexKey(ixs[i].cols) < indexKey(ixs[j].cols) })
+	out := make([][]string, len(ixs))
+	for i, ix := range ixs {
+		names := make([]string, len(ix.cols))
+		for j, c := range ix.cols {
+			names[j] = r.schema.Column(c).Name
+		}
+		out[i] = names
+	}
+	return out
 }
 
 // Insert adds the tuple (coerced to the schema types). It returns true when
@@ -97,9 +281,8 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 		return false, nil
 	}
 	r.rows[key] = ct
-	for ci, idx := range r.indexes {
-		h := ct[ci].Hash()
-		idx[h] = append(idx[h], key)
+	for _, ix := range r.indexes {
+		ix.insert(key, ct)
 	}
 	r.version++
 	return true, nil
@@ -144,18 +327,8 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 		return false, nil
 	}
 	delete(r.rows, key)
-	for ci, idx := range r.indexes {
-		h := ct[ci].Hash()
-		keys := idx[h]
-		for i, k := range keys {
-			if k == key {
-				idx[h] = append(keys[:i], keys[i+1:]...)
-				break
-			}
-		}
-		if len(idx[h]) == 0 {
-			delete(idx, h)
-		}
+	for _, ix := range r.indexes {
+		ix.remove(key, ct)
 	}
 	r.version++
 	return true, nil
@@ -210,6 +383,98 @@ func (r *Relation) Scan(fn func(Tuple) bool) {
 	}
 }
 
+// lookup finds the index covering exactly the given column positions.
+// Callers must hold at least the read lock and pass sorted positions.
+func (r *Relation) lookup(cols []int) *index {
+	return r.indexes[indexKey(cols)]
+}
+
+// ScanEq calls fn for every tuple whose values at the given columns equal the
+// corresponding vals, until fn returns false. It probes an index covering
+// exactly that column set when one exists and falls back to a full scan
+// otherwise; it reports whether an index was used. Iteration order is
+// unspecified; fn must not call back into the relation's mutating methods.
+func (r *Relation) ScanEq(columns []string, vals []Value, fn func(Tuple) bool) (bool, error) {
+	if len(columns) != len(vals) {
+		return false, fmt.Errorf("relstore: ScanEq on %q got %d columns but %d values", r.name, len(columns), len(vals))
+	}
+	if len(columns) == 0 {
+		return false, fmt.Errorf("relstore: ScanEq on %q needs at least one column", r.name)
+	}
+	type probe struct {
+		pos int
+		val Value
+	}
+	probes := make([]probe, len(columns))
+	for i, c := range columns {
+		ci := r.schema.ColumnIndex(c)
+		if ci < 0 {
+			return false, fmt.Errorf("relstore: relation %q has no column %q", r.name, c)
+		}
+		probes[i] = probe{pos: ci, val: vals[i]}
+	}
+	sort.Slice(probes, func(i, j int) bool { return probes[i].pos < probes[j].pos })
+	// Collapse duplicate columns; conflicting constraints can never match.
+	dedup := probes[:1]
+	for _, p := range probes[1:] {
+		last := dedup[len(dedup)-1]
+		if p.pos == last.pos {
+			if !p.val.Equal(last.val) {
+				return false, nil
+			}
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	positions := make([]int, len(dedup))
+	probeVals := make([]Value, len(dedup))
+	for i, p := range dedup {
+		positions[i] = p.pos
+		probeVals[i] = p.val
+	}
+	return r.ScanEqAt(positions, probeVals, fn)
+}
+
+// ScanEqAt is ScanEq with pre-resolved column positions: it calls fn for
+// every tuple whose values at the given positions equal the corresponding
+// vals. Positions must be strictly ascending and in schema range. It is the
+// allocation-light primitive the CyLog join loop issues once per binding,
+// skipping the per-call name resolution and sort that ScanEq performs.
+func (r *Relation) ScanEqAt(positions []int, vals []Value, fn func(Tuple) bool) (bool, error) {
+	if len(positions) != len(vals) {
+		return false, fmt.Errorf("relstore: ScanEqAt on %q got %d positions and %d values", r.name, len(positions), len(vals))
+	}
+	if err := r.checkPositions(positions); err != nil {
+		return false, err
+	}
+	matches := func(t Tuple) bool {
+		for i, p := range positions {
+			if !t[p].Equal(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ix := r.lookup(positions); ix != nil {
+		for _, key := range ix.buckets[hashValues(vals...)] {
+			t := r.rows[key]
+			if matches(t) && !fn(t) {
+				break
+			}
+		}
+		return true, nil
+	}
+	for _, t := range r.rows {
+		if matches(t) && !fn(t) {
+			break
+		}
+	}
+	return false, nil
+}
+
 // Select returns every tuple satisfying pred, in deterministic order.
 func (r *Relation) Select(pred func(Tuple) bool) []Tuple {
 	r.mu.RLock()
@@ -224,33 +489,31 @@ func (r *Relation) Select(pred func(Tuple) bool) []Tuple {
 	return out
 }
 
-// SelectEq returns every tuple whose named column equals v. It uses a hash
-// index on the column when one exists, and otherwise scans.
+// SelectEq returns every tuple whose named column equals v, in deterministic
+// order. It uses a hash index on the column when one exists, and otherwise
+// scans.
 func (r *Relation) SelectEq(column string, v Value) []Tuple {
-	ci := r.schema.ColumnIndex(column)
-	if ci < 0 {
+	out, err := r.SelectEqMulti([]string{column}, []Value{v})
+	if err != nil {
 		return nil
 	}
-	r.mu.RLock()
-	idx, hasIdx := r.indexes[ci]
-	var out []Tuple
-	if hasIdx {
-		for _, key := range idx[v.Hash()] {
-			t := r.rows[key]
-			if t[ci].Equal(v) {
-				out = append(out, t)
-			}
-		}
-	} else {
-		for _, t := range r.rows {
-			if t[ci].Equal(v) {
-				out = append(out, t)
-			}
-		}
-	}
-	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
+}
+
+// SelectEqMulti returns every tuple whose values at the named columns equal
+// the corresponding vals, in deterministic order. It probes a composite index
+// on exactly that column set when one exists, and otherwise scans.
+func (r *Relation) SelectEqMulti(columns []string, vals []Value) ([]Tuple, error) {
+	var out []Tuple
+	_, err := r.ScanEq(columns, vals, func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
 }
 
 // Project returns the distinct projection of the relation onto the named
@@ -280,7 +543,7 @@ func (r *Relation) Project(columns ...string) ([]Tuple, error) {
 	return out, nil
 }
 
-// Clear removes all tuples.
+// Clear removes all tuples. Indexes remain defined but empty.
 func (r *Relation) Clear() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -288,19 +551,19 @@ func (r *Relation) Clear() {
 		return
 	}
 	r.rows = make(map[string]Tuple)
-	for ci := range r.indexes {
-		r.indexes[ci] = make(map[uint64][]string)
+	for _, ix := range r.indexes {
+		ix.buckets = make(map[uint64][]string)
 	}
 	r.version++
 }
 
-// Clone returns a deep copy of the relation (indexes are rebuilt lazily: the
-// clone starts with the same indexed columns).
+// Clone returns a deep copy of the relation; the clone carries the same
+// indexed column sets, rebuilt over the copied tuples.
 func (r *Relation) Clone() *Relation {
 	r.mu.RLock()
-	cols := make([]int, 0, len(r.indexes))
-	for ci := range r.indexes {
-		cols = append(cols, ci)
+	colSets := make([][]int, 0, len(r.indexes))
+	for _, ix := range r.indexes {
+		colSets = append(colSets, append([]int(nil), ix.cols...))
 	}
 	tuples := make([]Tuple, 0, len(r.rows))
 	for _, t := range r.rows {
@@ -309,8 +572,8 @@ func (r *Relation) Clone() *Relation {
 	r.mu.RUnlock()
 
 	c := NewRelation(r.name, r.schema)
-	for _, ci := range cols {
-		c.indexes[ci] = make(map[uint64][]string)
+	for _, cols := range colSets {
+		c.indexes[indexKey(cols)] = &index{cols: cols, buckets: make(map[uint64][]string)}
 	}
 	for _, t := range tuples {
 		c.Insert(t) //nolint:errcheck // tuples came from a schema-validated relation

@@ -262,13 +262,13 @@ func TestFormValidate(t *testing.T) {
 		t.Errorf("Validate(good) = %v", err)
 	}
 	cases := []map[string]string{
-		{"count": "3"},                          // missing required
-		{"text": "   "},                         // blank required
-		{"text": "x", "count": "NaN-ish"},       // bad number
-		{"text": "x", "lang": "fr"},             // bad option
-		{"text": "x", "ok": "maybe"},            // bad bool
-		{"text": "x", "link": "ftp://x"},        // bad url
-		{"text": "x", "unknown": "y"},           // unknown field
+		{"count": "3"},                    // missing required
+		{"text": "   "},                   // blank required
+		{"text": "x", "count": "NaN-ish"}, // bad number
+		{"text": "x", "lang": "fr"},       // bad option
+		{"text": "x", "ok": "maybe"},      // bad bool
+		{"text": "x", "link": "ftp://x"},  // bad url
+		{"text": "x", "unknown": "y"},     // unknown field
 	}
 	for i, c := range cases {
 		if err := f.Validate(c); err == nil {

@@ -109,9 +109,9 @@ func (h HumanFactors) Skill(name string) float64 {
 
 // Worker is a participant registered on the platform.
 type Worker struct {
-	ID       ID
-	Name     string
-	Factors  HumanFactors
+	ID      ID
+	Name    string
+	Factors HumanFactors
 	// SNSID is the worker's contact/collaboration-tool identity (e.g. a Google
 	// account), solicited at the start of a simultaneous collaboration (§2.3).
 	SNSID string
