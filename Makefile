@@ -6,13 +6,22 @@ BENCHTIME ?= 1x
 PKGS      := ./...
 BENCHPKGS := ./internal/cylog/ ./internal/relstore/
 
-.PHONY: build test lint vet fmt bench ci
+.PHONY: build test test-sequential lint vet fmt bench linkcheck ci
 
 build:
 	$(GO) build $(PKGS)
 
 test:
 	$(GO) test -race $(PKGS)
+
+# Forces every engine through the sequential evaluation path (the reference
+# side of the parallel differential tests); CI runs both this and `test`.
+# Scoped to the packages that construct engines — only they read
+# CYLOG_PARALLELISM, so re-running the rest would duplicate `test` verbatim.
+ENGINEPKGS := ./internal/cylog/ ./internal/platform/ ./internal/crowdsim/
+
+test-sequential:
+	CYLOG_PARALLELISM=1 $(GO) test -race $(ENGINEPKGS)
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -26,8 +35,14 @@ vet:
 lint: fmt vet
 
 # Smoke by default (BENCHTIME=1x); use `make bench BENCHTIME=2s` for real
-# measurements, and record baselines in BENCH_cylog.json.
+# measurements, and record baselines in BENCH_cylog.json (workflow in
+# README.md).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=$(BENCHTIME) $(BENCHPKGS)
 
-ci: build lint test bench
+# Validates relative links (files and heading anchors) in README.md and
+# docs/; no network access.
+linkcheck:
+	$(GO) test -run TestMarkdownLinks -count=1 ./internal/docs/
+
+ci: build lint test test-sequential linkcheck bench

@@ -5,14 +5,19 @@ import (
 	"testing"
 )
 
-// Benchmarks for the evaluation pipeline. Three configurations are compared:
+// Benchmarks for the evaluation pipeline. Configurations compared:
 //
 //   - naive:             Naive mode, scan joins (the slowest reference)
 //   - seminaive-scan:    SemiNaive mode, scan joins (the seed pipeline)
 //   - seminaive-indexed: SemiNaive mode, planned + index-probing joins
+//   - *-par4:            the indexed pipeline on a 4-worker pool
 //
-// The naive configuration re-derives the full closure every iteration, which
-// is quadratically worse; it only runs at the small size to keep the bench
+// All non-par configurations pin SetParallelism(1) so their numbers stay
+// comparable across hosts regardless of GOMAXPROCS. The par4 configurations
+// need >= 2 physical cores to show wall-clock speedup; on a single-core host
+// they measure pool overhead (expect parity or slightly worse). The naive
+// configuration re-derives the full closure every iteration, which is
+// quadratically worse; it only runs at the small size to keep the bench
 // smoke affordable. BENCH_cylog.json records baseline numbers.
 
 const tcProgram = `
@@ -25,7 +30,7 @@ reach(X, Z) :- reach(X, Y), edge(Y, Z).
 // tcEngine loads `edges` edge facts forming disjoint chains of length 10, so
 // the closure stays linear in the input (10k edges -> 55k reach facts) and
 // the benchmark measures join work, not result materialisation.
-func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool) *Engine {
+func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool, workers int) *Engine {
 	b.Helper()
 	e, err := NewEngine(MustParse(tcProgram))
 	if err != nil {
@@ -33,6 +38,7 @@ func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool) *Engine {
 	}
 	e.SetMode(mode)
 	e.SetIndexing(indexing)
+	e.SetParallelism(workers)
 	const chain = 10
 	for i := 0; i < edges; i++ {
 		base := (i / chain) * (chain + 1)
@@ -41,11 +47,11 @@ func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool) *Engine {
 	return e
 }
 
-func benchTC(b *testing.B, edges int, mode EvalMode, indexing bool) {
+func benchTC(b *testing.B, edges int, mode EvalMode, indexing bool, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		e := tcEngine(b, edges, mode, indexing)
+		e := tcEngine(b, edges, mode, indexing, workers)
 		b.StartTimer()
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
@@ -57,16 +63,20 @@ func benchTC(b *testing.B, edges int, mode EvalMode, indexing bool) {
 		if indexing && e.Stats().IndexHits == 0 {
 			b.Fatal("indexed run recorded no index hits")
 		}
+		if workers > 1 && e.Stats().ParallelTasks == 0 {
+			b.Fatal("parallel run dispatched no tasks")
+		}
 		b.StartTimer()
 	}
 }
 
 func BenchmarkTransitiveClosure(b *testing.B) {
-	b.Run("naive-1k", func(b *testing.B) { benchTC(b, 1000, Naive, false) })
-	b.Run("seminaive-scan-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, false) })
-	b.Run("seminaive-indexed-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, true) })
-	b.Run("seminaive-scan-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, false) })
-	b.Run("seminaive-indexed-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true) })
+	b.Run("naive-1k", func(b *testing.B) { benchTC(b, 1000, Naive, false, 1) })
+	b.Run("seminaive-scan-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, false, 1) })
+	b.Run("seminaive-indexed-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, true, 1) })
+	b.Run("seminaive-scan-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, false, 1) })
+	b.Run("seminaive-indexed-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, 1) })
+	b.Run("seminaive-indexed-10k-par4", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, 4) })
 }
 
 // assignProgram is the Crowd4U task-assignment workload: route every task to
@@ -83,7 +93,7 @@ assignable(W, T) :- task(T, S), worker(W, S), !busy(W).
 // 10% busy markers. The skill vocabulary scales with the input (facts/20) so
 // the per-skill fan-out — and with it the output size — stays constant and
 // the benchmark measures join work rather than result materialisation.
-func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool) *Engine {
+func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool, workers int) *Engine {
 	b.Helper()
 	e, err := NewEngine(MustParse(assignProgram))
 	if err != nil {
@@ -91,11 +101,12 @@ func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool) *Engine
 	}
 	e.SetMode(mode)
 	e.SetIndexing(indexing)
-	workers := facts * 4 / 10
+	e.SetParallelism(workers)
+	workerFacts := facts * 4 / 10
 	tasks := facts * 5 / 10
-	busy := facts - workers - tasks
+	busy := facts - workerFacts - tasks
 	skills := facts / 20
-	for i := 0; i < workers; i++ {
+	for i := 0; i < workerFacts; i++ {
 		e.AddFact("worker", i, fmt.Sprintf("skill%d", i%skills))
 	}
 	for i := 0; i < tasks; i++ {
@@ -107,11 +118,11 @@ func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool) *Engine
 	return e
 }
 
-func benchAssign(b *testing.B, facts int, mode EvalMode, indexing bool) {
+func benchAssign(b *testing.B, facts int, mode EvalMode, indexing bool, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		e := assignEngine(b, facts, mode, indexing)
+		e := assignEngine(b, facts, mode, indexing, workers)
 		b.StartTimer()
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
@@ -125,9 +136,64 @@ func benchAssign(b *testing.B, facts int, mode EvalMode, indexing bool) {
 }
 
 func BenchmarkTaskAssignment(b *testing.B) {
-	b.Run("naive-1k", func(b *testing.B) { benchAssign(b, 1000, Naive, false) })
-	b.Run("scan-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, false) })
-	b.Run("indexed-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, true) })
-	b.Run("scan-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, false) })
-	b.Run("indexed-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true) })
+	b.Run("naive-1k", func(b *testing.B) { benchAssign(b, 1000, Naive, false, 1) })
+	b.Run("scan-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, false, 1) })
+	b.Run("indexed-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, true, 1) })
+	b.Run("scan-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, false, 1) })
+	b.Run("indexed-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, 1) })
+	b.Run("indexed-10k-par4", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, 4) })
+}
+
+// guardedReachProgram places the recursive atom behind a negation barrier, so
+// the planner cannot lead with the delta: every iteration reaches the delta
+// frontier with ~|edge| bindings and a bound join column. This is the
+// workload the hashed delta frontier exists for — without it each binding
+// linearly scans the delta.
+const guardedReachProgram = `
+rel edge(a: int, b: int).
+rel blocked(a: int).
+rel reach(a: int, b: int).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- edge(X, Y), !blocked(Y), reach(Y, Z).
+`
+
+func benchGuardedReach(b *testing.B, edges int, hashing bool) {
+	b.Helper()
+	const chain = 10
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := NewEngine(MustParse(guardedReachProgram))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetParallelism(1)
+		e.SetDeltaHashing(hashing)
+		for j := 0; j < edges; j++ {
+			base := (j / chain) * (chain + 1)
+			e.AddFact("edge", base+j%chain, base+j%chain+1)
+		}
+		// Block one interior node per 100 chains to keep the negation live
+		// without changing the output size materially.
+		for j := 0; j < edges/chain; j += 100 {
+			e.AddFact("blocked", j*(chain+1)+chain/2)
+		}
+		b.StartTimer()
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if hashing && e.Stats().DeltaHashProbes == 0 {
+			b.Fatal("hashed run recorded no delta-frontier probes")
+		}
+		if !hashing && e.Stats().DeltaHashProbes != 0 {
+			b.Fatal("linear run used the delta-frontier hash")
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkGuardedReach(b *testing.B) {
+	b.Run("delta-linear-1k", func(b *testing.B) { benchGuardedReach(b, 1000, false) })
+	b.Run("delta-hashed-1k", func(b *testing.B) { benchGuardedReach(b, 1000, true) })
+	b.Run("delta-hashed-10k", func(b *testing.B) { benchGuardedReach(b, 10000, true) })
 }

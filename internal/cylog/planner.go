@@ -52,9 +52,12 @@ type planCatalog struct {
 }
 
 // planRule orders the body of r for one evaluation pass. deltaAtom is the
-// body index of the atom restricted to the semi-naive delta (-1 for a full
-// pass); within its run the delta atom is always scheduled first, since the
-// delta frontier is the smallest and most selective input of the pass.
+// body index of the atom restricted to an explicit tuple set — the semi-naive
+// delta frontier, or a shard of a parallel full scan — and -1 for an
+// unrestricted pass. Within its run the restricted atom is always scheduled
+// first, since its tuple set is the smallest and most selective input of the
+// pass (for full-scan shards the engine only restricts the atom this planner
+// would have scheduled first anyway, so the plan is unchanged).
 func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
 	bound := make(map[string]bool)
 	steps := make([]planStep, 0, len(r.Body))

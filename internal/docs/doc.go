@@ -1,0 +1,6 @@
+// Package docs holds repository-documentation tooling. Its test suite
+// validates the markdown documentation itself — currently a link check over
+// README.md and docs/ that fails the build when a relative link points at a
+// missing file or a heading anchor that does not exist. CI runs it via
+// `make linkcheck` (and it rides along in `make test`).
+package docs

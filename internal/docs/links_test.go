@@ -1,0 +1,125 @@
+package docs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// linkPattern matches inline markdown links [text](target). Images and
+// reference-style links are out of scope; the docs only use inline links.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingPattern matches ATX headings, whose GitHub anchor slugs relative
+// links may target.
+var headingPattern = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// repoRoot walks up from the package directory to the directory holding
+// go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}
+
+// anchorSlug approximates GitHub's heading-to-anchor translation: lower-case,
+// punctuation stripped, spaces to hyphens.
+func anchorSlug(heading string) string {
+	// Drop inline code/emphasis markers and links before slugging.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	if m := regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).FindStringSubmatch(heading); m != nil {
+		heading = strings.Replace(heading, m[0], m[1], 1)
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r > 127:
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	out := make(map[string]bool)
+	for _, m := range headingPattern.FindAllStringSubmatch(string(data), -1) {
+		out[anchorSlug(m[1])] = true
+	}
+	return out
+}
+
+// TestMarkdownLinks verifies every relative link in README.md and docs/*.md:
+// the target file must exist in the repository, and a #fragment must name a
+// heading anchor in the target (or current) file. External http(s)/mailto
+// links are skipped — CI must not depend on the network.
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	var files []string
+	files = append(files, filepath.Join(root, "README.md"))
+	docGlob, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docGlob...)
+	if len(docGlob) == 0 {
+		t.Error("docs/ contains no markdown files; expected at least ARCHITECTURE.md")
+	}
+
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		rel, _ := filepath.Rel(root, file)
+		for _, m := range linkPattern.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag := target, ""
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				path, frag = target[:i], target[i+1:]
+			}
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s: broken link %q (%v)", rel, target, err))
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchorsOf(t, resolved)[frag] {
+					problems = append(problems, fmt.Sprintf("%s: link %q targets missing anchor #%s", rel, target, frag))
+				}
+			}
+		}
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -1,0 +1,85 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRelationReadOnlyViewGuarantee exercises the documented read-only view
+// contract under the race detector: while no mutating method runs, many
+// goroutines scan, probe and auto-create indexes concurrently, and every
+// reader observes the same stable contents. This is the contract the CyLog
+// engine's parallel evaluation phase depends on.
+func TestRelationReadOnlyViewGuarantee(t *testing.T) {
+	r := NewRelation("edge", MustSchema("a:int", "b:int"))
+	const rows = 2000
+	for i := 0; i < rows; i++ {
+		r.MustInsert(i%50, i)
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				// Index auto-creation races with probes and scans by design.
+				if err := r.EnsureIndexAt([]int{0}); err != nil {
+					errs <- err
+					return
+				}
+				n := 0
+				if _, err := r.ScanEqAt([]int{0}, []Value{Int(int64(g % 50))}, func(Tuple) bool {
+					n++
+					return true
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if n != rows/50 {
+					errs <- fmt.Errorf("reader %d round %d: %d matches, want %d", g, round, n, rows/50)
+					return
+				}
+				if got := r.Len(); got != rows {
+					errs <- fmt.Errorf("reader %d: Len = %d, want %d", g, got, rows)
+					return
+				}
+				count := 0
+				r.Scan(func(Tuple) bool { count++; return true })
+				if count != rows {
+					errs <- fmt.Errorf("reader %d: scanned %d tuples, want %d", g, count, rows)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTupleHashAtMatchesHashValues pins the compatibility contract between
+// tuple-side and value-side hashing that external hash tables rely on.
+func TestTupleHashAtMatchesHashValues(t *testing.T) {
+	tup := NewTuple(7, "x", 3.5, true)
+	cases := [][]int{{0}, {1}, {0, 2}, {1, 3}, {0, 1, 2, 3}}
+	for _, cols := range cases {
+		vals := make([]Value, len(cols))
+		for i, c := range cols {
+			vals[i] = tup[c]
+		}
+		if tup.HashAt(cols...) != HashValues(vals...) {
+			t.Errorf("HashAt(%v) != HashValues of the same values", cols)
+		}
+	}
+	// Single-column hashing must match the value's own hash (the historic
+	// per-column index layout).
+	if tup.HashAt(0) != tup[0].Hash() {
+		t.Error("single-position HashAt should equal Value.Hash")
+	}
+}

@@ -27,10 +27,13 @@ func indexKey(cols []int) string {
 	return strings.Join(parts, ",")
 }
 
-// hashValues combines the hashes of the values in order; single values hash
-// to their own hash so one-column composite indexes match the historic
-// per-column index layout.
-func hashValues(vals ...Value) uint64 {
+// HashValues combines the hashes of the values in order; a single value
+// hashes to its own hash so one-column composite indexes match the historic
+// per-column index layout. The combination is the same one composite indexes
+// and Tuple.HashAt use, so callers building their own hash tables over bound
+// column values (e.g. the CyLog engine's delta-frontier hash) probe with keys
+// compatible with tuple-side hashing.
+func HashValues(vals ...Value) uint64 {
 	if len(vals) == 1 {
 		return vals[0].Hash()
 	}
@@ -41,25 +44,13 @@ func hashValues(vals ...Value) uint64 {
 	return h.Sum64()
 }
 
-// hashAt combines the hashes of the tuple's values at the given positions.
-func hashAt(t Tuple, cols []int) uint64 {
-	if len(cols) == 1 {
-		return t[cols[0]].Hash()
-	}
-	h := fnv.New64a()
-	for _, c := range cols {
-		writeUint64(h, t[c].Hash())
-	}
-	return h.Sum64()
-}
-
 func (ix *index) insert(key string, t Tuple) {
-	h := hashAt(t, ix.cols)
+	h := t.HashAt(ix.cols...)
 	ix.buckets[h] = append(ix.buckets[h], key)
 }
 
 func (ix *index) remove(key string, t Tuple) {
-	h := hashAt(t, ix.cols)
+	h := t.HashAt(ix.cols...)
 	keys := ix.buckets[h]
 	for i, k := range keys {
 		if k == key {
@@ -78,6 +69,17 @@ func (ix *index) remove(key string, t Tuple) {
 //
 // Relations have set semantics: inserting a tuple equal to an existing one is
 // a no-op and Insert reports false.
+//
+// Read-only view guarantee: as long as no Insert, Delete, DeleteWhere, Clear
+// or Restore runs, the tuple set observed by readers is stable — any number
+// of goroutines may Scan, ScanEq/ScanEqAt, Select*, Project, All, Len and
+// Contains concurrently and all see the same contents. CreateIndex,
+// EnsureIndex and EnsureIndexAt are read-compatible: they change only access
+// paths, never contents, so they may race freely with readers (and each
+// other) without perturbing results. The CyLog engine's parallel evaluation
+// phase relies on exactly this contract: workers share the live relations as
+// a logical snapshot and defer every tuple mutation to a single-threaded
+// merge step.
 type Relation struct {
 	name   string
 	schema *Schema
@@ -459,7 +461,7 @@ func (r *Relation) ScanEqAt(positions []int, vals []Value, fn func(Tuple) bool) 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if ix := r.lookup(positions); ix != nil {
-		for _, key := range ix.buckets[hashValues(vals...)] {
+		for _, key := range ix.buckets[HashValues(vals...)] {
 			t := r.rows[key]
 			if matches(t) && !fn(t) {
 				break

@@ -61,6 +61,23 @@ func (t Tuple) Hash() uint64 {
 	return h.Sum64()
 }
 
+// HashAt combines the hashes of the values at the given positions, using the
+// same combination as HashValues over those values. It is the tuple-side
+// counterpart composite indexes are built with: HashAt(t, p...) equals
+// HashValues(t[p0], t[p1], ...), so external hash tables keyed on a column
+// subset (e.g. the CyLog engine's delta-frontier hash) can insert tuples with
+// HashAt and probe with HashValues.
+func (t Tuple) HashAt(positions ...int) uint64 {
+	if len(positions) == 1 {
+		return t[positions[0]].Hash()
+	}
+	h := fnv.New64a()
+	for _, p := range positions {
+		writeUint64(h, t[p].Hash())
+	}
+	return h.Sum64()
+}
+
 // Key returns a string key uniquely identifying the tuple contents; used for
 // set semantics in relations. Equal tuples produce equal keys.
 func (t Tuple) Key() string {
