@@ -1,0 +1,180 @@
+// Command covercheck is the CI coverage gate: it reads a Go cover profile,
+// aggregates statement coverage per package and fails when a package drops
+// below its recorded floor.
+//
+//	go test -coverprofile=cover.out ./internal/cylog/ ./internal/relstore/
+//	go run ./cmd/covercheck -profile cover.out \
+//	    -floor internal/cylog=80 -floor internal/relstore=75
+//
+// Floors name package directories by suffix (module-path prefixes are
+// ignored) and are recorded in the Makefile next to the cover target; raise
+// them when coverage genuinely improves, never lower them to make CI pass.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floorFlag collects repeated -floor pkg=percent flags.
+type floorFlag struct {
+	pkgs     []string
+	percents []float64
+}
+
+func (f *floorFlag) String() string { return fmt.Sprint(f.pkgs) }
+
+func (f *floorFlag) Set(s string) error {
+	pkg, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad percent in %q: %v", s, err)
+	}
+	f.pkgs = append(f.pkgs, pkg)
+	f.percents = append(f.percents, p)
+	return nil
+}
+
+// pkgCoverage accumulates statement counts for one package directory.
+type pkgCoverage struct {
+	total   int
+	covered int
+}
+
+func (c pkgCoverage) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	var floors floorFlag
+	profilePath := flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	flag.Var(&floors, "floor", "pkg=percent floor, repeatable (pkg matched by directory suffix)")
+	flag.Parse()
+	if len(floors.pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: at least one -floor pkg=percent is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	byDir, err := parseProfile(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for i, pkg := range floors.pkgs {
+		cov := aggregate(byDir, pkg)
+		pct := cov.percent()
+		status := "ok"
+		if cov.total == 0 {
+			status = "FAIL (no statements in profile)"
+			failed = true
+		} else if pct < floors.percents[i] {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("covercheck: %-28s %6.1f%% of %d statements (floor %.1f%%) %s\n",
+			pkg, pct, cov.total, floors.percents[i], status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseProfile reads a cover profile ("file:startLine.startCol,endLine.endCol
+// numStmts count" lines) and aggregates statements per package directory.
+// Duplicate blocks (merged profiles) count once, covered if any duplicate is.
+func parseProfile(f *os.File) (map[string]pkgCoverage, error) {
+	type block struct {
+		stmts   int
+		covered bool
+	}
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if first && strings.HasPrefix(line, "mode:") {
+			first = false
+			continue
+		}
+		first = false
+		if line == "" {
+			continue
+		}
+		// file.go:12.34,56.2 numStmts count
+		loc, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		stmtStr, countStr, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		stmts, err1 := strconv.Atoi(stmtStr)
+		count, err2 := strconv.Atoi(countStr)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		b := blocks[loc]
+		b.stmts = stmts
+		b.covered = b.covered || count > 0
+		blocks[loc] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	byDir := make(map[string]pkgCoverage)
+	for loc, b := range blocks {
+		file, _, ok := strings.Cut(loc, ":")
+		if !ok {
+			continue
+		}
+		dir := path.Dir(file)
+		c := byDir[dir]
+		c.total += b.stmts
+		if b.covered {
+			c.covered += b.stmts
+		}
+		byDir[dir] = c
+	}
+	return byDir, nil
+}
+
+// aggregate sums the coverage of every profile directory whose path ends with
+// the given package suffix (e.g. "internal/cylog" matches
+// "github.com/crowd4u/crowd4u-go/internal/cylog").
+func aggregate(byDir map[string]pkgCoverage, pkgSuffix string) pkgCoverage {
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	var out pkgCoverage
+	for _, dir := range dirs {
+		if dir == pkgSuffix || strings.HasSuffix(dir, "/"+pkgSuffix) {
+			out.total += byDir[dir].total
+			out.covered += byDir[dir].covered
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseProfileAndAggregate(t *testing.T) {
+	profile := `mode: set
+github.com/x/y/internal/cylog/engine.go:10.2,12.3 4 1
+github.com/x/y/internal/cylog/engine.go:14.2,16.3 6 0
+github.com/x/y/internal/cylog/engine.go:10.2,12.3 4 0
+github.com/x/y/internal/relstore/relation.go:5.1,6.2 10 3
+`
+	path := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(path, []byte(profile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	byDir, err := parseProfile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate block counted once, covered because one duplicate is.
+	cylog := aggregate(byDir, "internal/cylog")
+	if cylog.total != 10 || cylog.covered != 4 {
+		t.Errorf("cylog = %+v, want 10 total / 4 covered", cylog)
+	}
+	if pct := cylog.percent(); pct != 40 {
+		t.Errorf("cylog percent = %v, want 40", pct)
+	}
+	relstore := aggregate(byDir, "internal/relstore")
+	if relstore.total != 10 || relstore.covered != 10 {
+		t.Errorf("relstore = %+v", relstore)
+	}
+	if empty := aggregate(byDir, "internal/nosuch"); empty.total != 0 {
+		t.Errorf("nosuch = %+v", empty)
+	}
+}
+
+func TestFloorFlagParsing(t *testing.T) {
+	var f floorFlag
+	if err := f.Set("internal/cylog=90.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("bad"); err == nil {
+		t.Error("missing '=' should error")
+	}
+	if err := f.Set("pkg=notanumber"); err == nil {
+		t.Error("bad percent should error")
+	}
+	if len(f.pkgs) != 1 || f.pkgs[0] != "internal/cylog" || f.percents[0] != 90.5 {
+		t.Errorf("parsed %v %v", f.pkgs, f.percents)
+	}
+}

@@ -31,6 +31,34 @@ type Analysis struct {
 	OpenRelations map[string]bool
 	// DependsOn maps a head relation to the body relations it references.
 	DependsOn map[string][]string
+	// RuleVars maps each rule to its variable inventory: every named variable
+	// appearing in the rule, in first-appearance order (body literals in
+	// source order, then the head). The engine turns the inventory into the
+	// rule's binding-row slot schema, so the order is part of the engine's
+	// deterministic behaviour and must not depend on map iteration.
+	RuleVars map[*Rule][]string
+}
+
+// ruleVariableInventory collects the named variables of a rule in
+// first-appearance order: body literals in source order, then the head. The
+// anonymous variable "_" never binds and is excluded.
+func ruleVariableInventory(r *Rule) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(vars []string) {
+		for _, v := range vars {
+			if v == "_" || seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, lit := range r.Body {
+		add(lit.Variables())
+	}
+	add(r.Head.Variables())
+	return out
 }
 
 // Analyze checks the program for semantic errors and computes the
@@ -51,6 +79,7 @@ func Analyze(p *Program) (*Analysis, error) {
 		EDB:           make(map[string]bool),
 		OpenRelations: make(map[string]bool),
 		DependsOn:     make(map[string][]string),
+		RuleVars:      make(map[*Rule][]string, len(p.Rules)),
 	}
 	decls := make(map[string]*Declaration, len(p.Declarations))
 	for _, d := range p.Declarations {
@@ -150,6 +179,7 @@ func Analyze(p *Program) (*Analysis, error) {
 			}
 		}
 		a.DependsOn[r.Head.Predicate] = append(a.DependsOn[r.Head.Predicate], deps...)
+		a.RuleVars[r] = ruleVariableInventory(r)
 	}
 
 	// EDB = declared relations not derived by any rule.

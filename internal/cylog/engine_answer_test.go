@@ -1,0 +1,160 @@
+package cylog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Error-path coverage for the open-request answering API beyond the basic
+// cases in engine_test.go: type mismatches on answer values, arity mismatches
+// on direct facts, and answering requests that were already closed out of
+// band by AnswerFact.
+
+func TestEngineAnswerTypeMismatch(t *testing.T) {
+	e, err := NewEngine(MustParse(sequentialWorkflowProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %v", reqs)
+	}
+	for _, r := range reqs {
+		if err := e.Answer(r.ID, map[string]any{"text": "ok"}); err != nil {
+			t.Fatalf("translation answer: %v", err)
+		}
+	}
+
+	// Drive the flow to the checked stage: checked.ok is a bool and must
+	// reject a value that ParseBool cannot read.
+	reqs, err = e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkReq *OpenRequest
+	for i := range reqs {
+		if reqs[i].Relation == "checked" {
+			checkReq = &reqs[i]
+			break
+		}
+	}
+	if checkReq == nil {
+		t.Fatalf("no checked request in %v", reqs)
+	}
+	pendingBefore := len(e.PendingRequests())
+	if err := e.Answer(checkReq.ID, map[string]any{"ok": "not-a-bool"}); err == nil {
+		t.Error("bool column should reject a non-boolean string")
+	}
+	if got := len(e.PendingRequests()); got != pendingBefore {
+		t.Errorf("failed answer should leave the request pending: %d -> %d", pendingBefore, got)
+	}
+	// A valid answer for the same request still goes through afterwards.
+	if err := e.Answer(checkReq.ID, map[string]any{"ok": true}); err != nil {
+		t.Errorf("valid bool answer after failed one: %v", err)
+	}
+	if got := len(e.PendingRequests()); got != pendingBefore-1 {
+		t.Errorf("pending after valid answer = %d, want %d", got, pendingBefore-1)
+	}
+}
+
+func TestEngineAnswerFactArityMismatch(t *testing.T) {
+	e, err := NewEngine(MustParse(sequentialWorkflowProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := len(e.PendingRequests())
+	if err := e.AnswerFact("translated", 1); err == nil {
+		t.Error("too few values should fail")
+	}
+	if err := e.AnswerFact("translated", 1, "Bonjour", "extra"); err == nil {
+		t.Error("too many values should fail")
+	}
+	if got := len(e.PendingRequests()); got != before {
+		t.Errorf("failed AnswerFact changed pending from %d to %d", before, got)
+	}
+	if got := len(e.Facts("translated")); got != 0 {
+		t.Errorf("failed AnswerFact inserted facts: %v", e.Facts("translated"))
+	}
+}
+
+func TestEngineAnswerAfterAnswerFactClosedRequest(t *testing.T) {
+	e, err := NewEngine(MustParse(sequentialWorkflowProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %v", reqs)
+	}
+	// Close the first request out of band: AnswerFact with a matching key
+	// clears it from the pending set.
+	sid, _ := reqs[0].Key()["sid"].AsInt()
+	if err := e.AnswerFact("translated", sid, fmt.Sprintf("T%d", sid)); err != nil {
+		t.Fatal(err)
+	}
+	// Answering the closed request through the normal path must now report
+	// ErrUnknownRequest, not insert a second fact.
+	if err := e.Answer(reqs[0].ID, map[string]any{"text": "late"}); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("answer after AnswerFact close: %v", err)
+	}
+	if got := len(e.Facts("translated")); got != 1 {
+		t.Errorf("translated = %v, want exactly the AnswerFact tuple", e.Facts("translated"))
+	}
+	// Re-running must not re-issue the closed request.
+	reqs, err = e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if r.Relation == "translated" {
+			key, _ := r.Key()["sid"].AsInt()
+			if key == sid {
+				t.Errorf("closed request re-issued: %v", r)
+			}
+		}
+	}
+}
+
+// TestEngineDuplicateKeyColumnRequests covers an open declaration whose
+// key() repeats a column: keyExists must collapse the duplicate positions
+// (not silently treat every fact as absent), so a fact loaded for the key
+// suppresses the request while an unanswered key still asks.
+func TestEngineDuplicateKeyColumnRequests(t *testing.T) {
+	e, err := NewEngine(MustParse(`
+rel item(id: int).
+open rel rating(id: int, score: int) key(id, id) asks "Rate this item".
+rel rated(id: int, score: int).
+item(1).
+item(2).
+rated(I, S) :- item(I), rating(I, S).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AnswerFact("rating", 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("requests = %v, want only the unanswered item 2", reqs)
+	}
+	if id, _ := reqs[0].KeyValues[0].AsInt(); id != 2 {
+		t.Errorf("request key = %v, want 2", reqs[0].KeyValues)
+	}
+	if got := len(e.Facts("rated")); got != 1 {
+		t.Errorf("rated = %v", e.Facts("rated"))
+	}
+}

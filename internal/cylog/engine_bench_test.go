@@ -11,6 +11,9 @@ import (
 //   - seminaive-scan:    SemiNaive mode, scan joins (the seed pipeline)
 //   - seminaive-indexed: SemiNaive mode, planned + index-probing joins
 //   - *-par4:            the indexed pipeline on a 4-worker pool
+//   - *-mapbind:         the indexed pipeline with map[string]Value bindings
+//                        instead of columnar rows (the allocation baseline
+//                        the binding-row layout is measured against)
 //
 // All non-par configurations pin SetParallelism(1) so their numbers stay
 // comparable across hosts regardless of GOMAXPROCS. The par4 configurations
@@ -30,7 +33,7 @@ reach(X, Z) :- reach(X, Y), edge(Y, Z).
 // tcEngine loads `edges` edge facts forming disjoint chains of length 10, so
 // the closure stays linear in the input (10k edges -> 55k reach facts) and
 // the benchmark measures join work, not result materialisation.
-func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool, workers int) *Engine {
+func tcEngine(b *testing.B, edges int, mode EvalMode, indexing, columnar bool, workers int) *Engine {
 	b.Helper()
 	e, err := NewEngine(MustParse(tcProgram))
 	if err != nil {
@@ -38,6 +41,7 @@ func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool, workers int
 	}
 	e.SetMode(mode)
 	e.SetIndexing(indexing)
+	e.SetColumnarBindings(columnar)
 	e.SetParallelism(workers)
 	const chain = 10
 	for i := 0; i < edges; i++ {
@@ -47,11 +51,12 @@ func tcEngine(b *testing.B, edges int, mode EvalMode, indexing bool, workers int
 	return e
 }
 
-func benchTC(b *testing.B, edges int, mode EvalMode, indexing bool, workers int) {
+func benchTC(b *testing.B, edges int, mode EvalMode, indexing, columnar bool, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		e := tcEngine(b, edges, mode, indexing, workers)
+		e := tcEngine(b, edges, mode, indexing, columnar, workers)
 		b.StartTimer()
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
@@ -71,12 +76,13 @@ func benchTC(b *testing.B, edges int, mode EvalMode, indexing bool, workers int)
 }
 
 func BenchmarkTransitiveClosure(b *testing.B) {
-	b.Run("naive-1k", func(b *testing.B) { benchTC(b, 1000, Naive, false, 1) })
-	b.Run("seminaive-scan-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, false, 1) })
-	b.Run("seminaive-indexed-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, true, 1) })
-	b.Run("seminaive-scan-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, false, 1) })
-	b.Run("seminaive-indexed-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, 1) })
-	b.Run("seminaive-indexed-10k-par4", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, 4) })
+	b.Run("naive-1k", func(b *testing.B) { benchTC(b, 1000, Naive, false, true, 1) })
+	b.Run("seminaive-scan-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, false, true, 1) })
+	b.Run("seminaive-indexed-1k", func(b *testing.B) { benchTC(b, 1000, SemiNaive, true, true, 1) })
+	b.Run("seminaive-scan-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, false, true, 1) })
+	b.Run("seminaive-indexed-10k", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, true, 1) })
+	b.Run("seminaive-indexed-10k-mapbind", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, false, 1) })
+	b.Run("seminaive-indexed-10k-par4", func(b *testing.B) { benchTC(b, 10000, SemiNaive, true, true, 4) })
 }
 
 // assignProgram is the Crowd4U task-assignment workload: route every task to
@@ -93,7 +99,7 @@ assignable(W, T) :- task(T, S), worker(W, S), !busy(W).
 // 10% busy markers. The skill vocabulary scales with the input (facts/20) so
 // the per-skill fan-out — and with it the output size — stays constant and
 // the benchmark measures join work rather than result materialisation.
-func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool, workers int) *Engine {
+func assignEngine(b *testing.B, facts int, mode EvalMode, indexing, columnar bool, workers int) *Engine {
 	b.Helper()
 	e, err := NewEngine(MustParse(assignProgram))
 	if err != nil {
@@ -101,6 +107,7 @@ func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool, workers
 	}
 	e.SetMode(mode)
 	e.SetIndexing(indexing)
+	e.SetColumnarBindings(columnar)
 	e.SetParallelism(workers)
 	workerFacts := facts * 4 / 10
 	tasks := facts * 5 / 10
@@ -118,11 +125,12 @@ func assignEngine(b *testing.B, facts int, mode EvalMode, indexing bool, workers
 	return e
 }
 
-func benchAssign(b *testing.B, facts int, mode EvalMode, indexing bool, workers int) {
+func benchAssign(b *testing.B, facts int, mode EvalMode, indexing, columnar bool, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		e := assignEngine(b, facts, mode, indexing, workers)
+		e := assignEngine(b, facts, mode, indexing, columnar, workers)
 		b.StartTimer()
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
@@ -136,12 +144,13 @@ func benchAssign(b *testing.B, facts int, mode EvalMode, indexing bool, workers 
 }
 
 func BenchmarkTaskAssignment(b *testing.B) {
-	b.Run("naive-1k", func(b *testing.B) { benchAssign(b, 1000, Naive, false, 1) })
-	b.Run("scan-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, false, 1) })
-	b.Run("indexed-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, true, 1) })
-	b.Run("scan-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, false, 1) })
-	b.Run("indexed-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, 1) })
-	b.Run("indexed-10k-par4", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, 4) })
+	b.Run("naive-1k", func(b *testing.B) { benchAssign(b, 1000, Naive, false, true, 1) })
+	b.Run("scan-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, false, true, 1) })
+	b.Run("indexed-1k", func(b *testing.B) { benchAssign(b, 1000, SemiNaive, true, true, 1) })
+	b.Run("scan-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, false, true, 1) })
+	b.Run("indexed-10k", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, true, 1) })
+	b.Run("indexed-10k-mapbind", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, false, 1) })
+	b.Run("indexed-10k-par4", func(b *testing.B) { benchAssign(b, 10000, SemiNaive, true, true, 4) })
 }
 
 // guardedReachProgram places the recursive atom behind a negation barrier, so
@@ -159,6 +168,7 @@ reach(X, Z) :- edge(X, Y), !blocked(Y), reach(Y, Z).
 
 func benchGuardedReach(b *testing.B, edges int, hashing bool) {
 	b.Helper()
+	b.ReportAllocs()
 	const chain = 10
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

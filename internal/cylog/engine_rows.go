@@ -1,0 +1,389 @@
+package cylog
+
+import (
+	"fmt"
+
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
+)
+
+// Columnar binding rows
+//
+// This file is the columnar twin of the map-binding join loop in engine.go:
+// the same three join strategies (index probe, hashed delta frontier, scan),
+// the same negation/comparison filters and the same request generation, but
+// bindings are flat, fixed-width []Value rows addressed by the rule's slot
+// schema instead of map[string]Value clones. The rows of one evaluation step
+// live in a single contiguous arena (rowBatch), so extending a binding is an
+// append of W values with amortised allocation instead of a map clone per
+// match, and filters compact the arena in place without allocating at all.
+// SetColumnarBindings(false) keeps the map path available as the
+// differential reference; both derive byte-identical fixpoints and open
+// requests.
+
+// rowBatch is a columnar batch of binding rows: len(masks) rows of fixed
+// width, stored back to back in one values arena. Row i occupies
+// vals[i*width:(i+1)*width]; masks[i] flags its bound slots (bit s == slot
+// s). Join steps append extended rows to a fresh output batch
+// (copy-on-extend at batch granularity); filter steps compact their input
+// batch in place. Rows are never mutated once appended, so emitted row
+// slices remain valid for the lifetime of the batch.
+type rowBatch struct {
+	width int
+	vals  []relstore.Value
+	masks []uint64
+}
+
+// rows returns the number of rows in the batch.
+func (b *rowBatch) rows() int { return len(b.masks) }
+
+// row returns the i-th row's slot values (empty for zero-width batches).
+func (b *rowBatch) row(i int) []relstore.Value {
+	if b.width == 0 {
+		return nil
+	}
+	lo, hi := i*b.width, (i+1)*b.width
+	return b.vals[lo:hi:hi]
+}
+
+// tryExtend unifies the atom's pre-resolved terms with the tuple under the
+// source row and, on success, appends the extended row to the batch. Like
+// matchAtom, it verifies before it copies: constants, already-bound slots
+// and repeated fresh variables are checked against the source row and the
+// tuple itself, and only a successful match appends — so the per-candidate
+// cost of a failing scan join is the comparison, not a row copy, and the
+// only allocations are the arena's amortised growth.
+func (b *rowBatch) tryExtend(refs []termRef, t relstore.Tuple, src []relstore.Value, mask uint64) bool {
+	if len(refs) != len(t) {
+		return false
+	}
+	// Index-based access throughout: termRef embeds a Value constant, so a
+	// range copy per term would dominate the scan-join hot loop.
+	newMask := mask
+	for i := 0; i < len(refs); i++ {
+		slot := refs[i].slot
+		switch slot {
+		case slotAnon:
+			// never binds
+		case slotConstant:
+			if !relstore.EqualValues(&refs[i].konst, &t[i]) {
+				return false
+			}
+		default:
+			bit := uint64(1) << uint(slot)
+			if mask&bit != 0 {
+				if !relstore.EqualValues(&src[slot], &t[i]) {
+					return false
+				}
+				continue
+			}
+			if newMask&bit != 0 {
+				// The variable was freshly bound by an earlier term of this
+				// atom; find that occurrence and compare the tuple against
+				// itself (the binding is not in src yet).
+				for j := 0; j < i; j++ {
+					if refs[j].slot == slot {
+						if !relstore.EqualValues(&t[j], &t[i]) {
+							return false
+						}
+						break
+					}
+				}
+				continue
+			}
+			newMask |= bit
+		}
+	}
+	base := len(b.vals)
+	b.vals = append(b.vals, src...)
+	row := b.vals[base:]
+	written := mask
+	for i := 0; i < len(refs); i++ {
+		if slot := refs[i].slot; slot >= 0 {
+			if bit := uint64(1) << uint(slot); written&bit == 0 {
+				// First occurrence wins, exactly like matchAtom's binding.
+				row[slot] = t[i]
+				written |= bit
+			}
+		}
+	}
+	b.masks = append(b.masks, newMask)
+	return true
+}
+
+// keep retains the i-th row of the batch, compacting it towards position n
+// (the number of rows kept so far). Callers iterate i over the batch in
+// order, call keep for the surviving rows, then truncate.
+func (b *rowBatch) keep(n, i int) {
+	if n != i {
+		copy(b.vals[n*b.width:(n+1)*b.width], b.row(i))
+		b.masks[n] = b.masks[i]
+	}
+}
+
+// truncate shrinks the batch to its first n rows.
+func (b *rowBatch) truncate(n int) {
+	b.vals = b.vals[:n*b.width]
+	b.masks = b.masks[:n]
+}
+
+// evaluateRuleRows is evaluateRule on binding rows: identical plan, identical
+// literal dispatch and identical head projection, with row batches threaded
+// through the columnar join/filter primitives below.
+func (e *Engine) evaluateRuleRows(r *Rule, rs *rowSchema, v ruleVariant, stats *Stats, sink *requestSink) ([]relstore.Tuple, error) {
+	var steps []planStep
+	if e.indexing {
+		steps = planRule(r, v.deltaAtom, e.catalog())
+	} else {
+		steps = identityPlan(r)
+	}
+
+	// One initial row with no slot bound.
+	in := &rowBatch{
+		width: len(rs.vars),
+		vals:  make([]relstore.Value, len(rs.vars)),
+		masks: []uint64{0},
+	}
+	for _, st := range steps {
+		if in.rows() == 0 {
+			break
+		}
+		var err error
+		switch l := st.lit.(type) {
+		case *Atom:
+			refs := rs.atoms[l]
+			if l.Negated {
+				err = e.filterNegatedBatch(l, refs, st.probeCols, in, stats)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				var restrict []relstore.Tuple
+				if v.deltaAtom == st.bodyIndex {
+					restrict = v.deltaTuples
+				}
+				in, err = e.joinAtomBatch(l, refs, st.probeCols, in, restrict, stats, sink)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case *Comparison:
+			filterComparisonBatch(l, rs.comps[l], in)
+		}
+	}
+	// Materialise head tuples straight from slots. Tuples are carved out of
+	// shared arenas: emitted tuples are capped sub-slices, an arena is only
+	// ever appended to, and relations keep inserted tuples verbatim
+	// (immutable by contract), so sharing the backing array is safe and head
+	// emission costs a handful of allocations per variant instead of one per
+	// binding. Arenas are chunked: a retained tuple pins at most one chunk,
+	// so a variant whose candidates are mostly duplicates cannot pin the
+	// whole candidate set in memory through the few tuples the relation
+	// keeps.
+	width := len(rs.head)
+	chunk := in.rows() * width
+	if chunk > headArenaChunk {
+		chunk = headArenaChunk
+	}
+	arena := make(relstore.Tuple, 0, chunk)
+	out := make([]relstore.Tuple, 0, in.rows())
+	for i := 0; i < in.rows(); i++ {
+		row, mask := in.row(i), in.masks[i]
+		if len(arena)+width > cap(arena) {
+			arena = make(relstore.Tuple, 0, chunk)
+		}
+		base := len(arena)
+		for _, ref := range rs.head {
+			v, _ := ref.value(row, mask)
+			arena = append(arena, v)
+		}
+		out = append(out, arena[base:len(arena):len(arena)])
+	}
+	return out, nil
+}
+
+// headArenaChunk caps the values per head-emission arena chunk (and with it
+// the memory a single retained head tuple can pin).
+const headArenaChunk = 4096
+
+// joinAtomBatch extends each row of the batch with the tuples of the atom's
+// relation that are consistent with it — joinAtom on binding rows, with the
+// same three strategies and the same Stats accounting, so work counters
+// agree between the columnar and the map path. The probe callback captures a
+// shared cursor instead of the loop variable, so one closure serves the
+// whole batch.
+func (e *Engine) joinAtomBatch(a *Atom, refs []termRef, probeCols []int, in *rowBatch, restrict []relstore.Tuple, stats *Stats, sink *requestSink) (*rowBatch, error) {
+	rel := e.db.Relation(a.Predicate)
+	if rel == nil {
+		return nil, fmt.Errorf("cylog: relation %q is not declared", a.Predicate)
+	}
+	decl := e.analysis.Program.DeclarationFor(a.Predicate)
+	open := decl != nil && decl.Open
+	out := &rowBatch{width: in.width}
+
+	if restrict == nil && len(probeCols) > 0 && e.shouldProbe(rel, probeCols) {
+		vals := make([]relstore.Value, len(probeCols))
+		var srcRow []relstore.Value
+		var srcMask uint64
+		matched := false
+		emit := func(t relstore.Tuple) bool {
+			if out.tryExtend(refs, t, srcRow, srcMask) {
+				matched = true
+				stats.JoinedBindings++
+			}
+			return true
+		}
+		for i := 0; i < in.rows(); i++ {
+			srcRow, srcMask = in.row(i), in.masks[i]
+			for j, ti := range probeCols {
+				vals[j], _ = refs[ti].value(srcRow, srcMask)
+			}
+			matched = false
+			indexed, err := rel.ScanEqAt(probeCols, vals, emit)
+			if err != nil {
+				return nil, err
+			}
+			stats.IndexProbes++
+			if indexed {
+				stats.IndexHits++
+			}
+			if open {
+				e.maybeRequestRow(decl, a, refs, srcRow, srcMask, matched, sink)
+			}
+		}
+		return out, nil
+	}
+
+	// Hashed delta frontier, keyed exactly like the map path so the output
+	// row order (matches in restrict order per row) is identical.
+	if restrict != nil && e.deltaHashing && len(probeCols) > 0 && in.rows() > 1 && len(restrict) >= deltaHashMinTuples {
+		frontier := make(map[uint64][]relstore.Tuple, len(restrict))
+		for _, t := range restrict {
+			h := t.HashAt(probeCols...)
+			frontier[h] = append(frontier[h], t)
+		}
+		vals := make([]relstore.Value, len(probeCols))
+		for i := 0; i < in.rows(); i++ {
+			srcRow, srcMask := in.row(i), in.masks[i]
+			for j, ti := range probeCols {
+				vals[j], _ = refs[ti].value(srcRow, srcMask)
+			}
+			matched := false
+			for _, t := range frontier[relstore.HashValues(vals...)] {
+				if out.tryExtend(refs, t, srcRow, srcMask) {
+					matched = true
+					stats.JoinedBindings++
+				}
+			}
+			stats.DeltaHashProbes++
+			if open {
+				e.maybeRequestRow(decl, a, refs, srcRow, srcMask, matched, sink)
+			}
+		}
+		return out, nil
+	}
+
+	tuples := restrict
+	if tuples == nil {
+		tuples = rel.All()
+		stats.FullScans++
+	}
+	for i := 0; i < in.rows(); i++ {
+		srcRow, srcMask := in.row(i), in.masks[i]
+		matched := false
+		for _, t := range tuples {
+			if out.tryExtend(refs, t, srcRow, srcMask) {
+				matched = true
+				stats.JoinedBindings++
+			}
+		}
+		if open {
+			e.maybeRequestRow(decl, a, refs, srcRow, srcMask, matched, sink)
+		}
+	}
+	return out, nil
+}
+
+// filterNegatedBatch keeps only the rows for which no tuple of the negated
+// atom's relation matches, compacting the batch in place — filterNegated on
+// binding rows.
+func (e *Engine) filterNegatedBatch(a *Atom, refs []termRef, probeCols []int, in *rowBatch, stats *Stats) error {
+	rel := e.db.Relation(a.Predicate)
+	if rel == nil {
+		return nil
+	}
+	probe := len(probeCols) > 0 && e.shouldProbe(rel, probeCols)
+	var vals []relstore.Value
+	if probe {
+		vals = make([]relstore.Value, len(probeCols))
+	} else if in.rows() > 0 {
+		stats.FullScans++
+	}
+	// scratch receives the (discarded) trial extensions of the existence
+	// checks; reusing one batch keeps the filter allocation-free after the
+	// first hit.
+	scratch := &rowBatch{width: in.width}
+	var srcRow []relstore.Value
+	var srcMask uint64
+	matched := false
+	check := func(t relstore.Tuple) bool {
+		if scratch.tryExtend(refs, t, srcRow, srcMask) {
+			scratch.truncate(0)
+			matched = true
+			return false
+		}
+		return true
+	}
+	n := 0
+	for i := 0; i < in.rows(); i++ {
+		srcRow, srcMask = in.row(i), in.masks[i]
+		matched = false
+		if probe {
+			for j, ti := range probeCols {
+				vals[j], _ = refs[ti].value(srcRow, srcMask)
+			}
+			indexed, err := rel.ScanEqAt(probeCols, vals, check)
+			if err != nil {
+				return err
+			}
+			stats.IndexProbes++
+			if indexed {
+				stats.IndexHits++
+			}
+		} else {
+			rel.Scan(check)
+		}
+		if !matched {
+			in.keep(n, i)
+			n++
+		}
+	}
+	in.truncate(n)
+	return nil
+}
+
+// filterComparisonBatch keeps the rows satisfying the comparison, compacting
+// the batch in place; rows with an unbound side are dropped, exactly like the
+// map path.
+func filterComparisonBatch(c *Comparison, refs [2]termRef, in *rowBatch) {
+	n := 0
+	for i := 0; i < in.rows(); i++ {
+		row, mask := in.row(i), in.masks[i]
+		l, lok := refs[0].value(row, mask)
+		r, rok := refs[1].value(row, mask)
+		if !lok || !rok {
+			continue
+		}
+		if compareValues(l, r, c.Op) {
+			in.keep(n, i)
+			n++
+		}
+	}
+	in.truncate(n)
+}
+
+// maybeRequestRow records an open-request candidate from a binding row; the
+// request-construction logic is shared with the map path via maybeRequest's
+// term accessor.
+func (e *Engine) maybeRequestRow(decl *Declaration, a *Atom, refs []termRef, row []relstore.Value, mask uint64, matched bool, sink *requestSink) {
+	e.maybeRequest(decl, a, func(i int) (relstore.Value, bool) { return refs[i].value(row, mask) }, matched, sink)
+}

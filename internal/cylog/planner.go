@@ -1,6 +1,10 @@
 package cylog
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
+)
 
 // This file implements the rule planner: a greedy, statistics-free join
 // orderer in the style of pattern-based Datalog engines (cf. janus-datalog's
@@ -167,5 +171,124 @@ func bindAtomVars(a *Atom, bound map[string]bool) {
 		if v != "_" {
 			bound[v] = true
 		}
+	}
+}
+
+// Binding-row slot schemas
+//
+// The columnar evaluation path replaces the map[string]Value binding with a
+// flat []Value row: every variable of a rule is assigned a fixed slot, and
+// each literal's terms are pre-resolved to slot references so the hot join
+// loop never touches a map or a variable name. The schema is static per rule
+// (it depends only on the rule text, not on the plan or the delta variant), so
+// the engine builds it once at construction and shares it across concurrent
+// rule evaluations.
+
+// Sentinel slot values for terms that do not name a row slot.
+const (
+	// slotConstant marks a term holding a ground constant; konst carries it.
+	slotConstant = -1
+	// slotAnon marks the anonymous variable "_", which never binds.
+	slotAnon = -2
+)
+
+// maxRowSlots is the widest rule the columnar path supports: boundness is a
+// uint64 bitmask, one bit per slot. Rules with more variables (none exist in
+// practice) transparently fall back to the map-binding path.
+const maxRowSlots = 64
+
+// termRef is one literal term resolved against a rule's slot schema: either a
+// row slot (>= 0), a constant (slotConstant, value in konst), or the
+// anonymous variable (slotAnon).
+type termRef struct {
+	slot  int
+	konst relstore.Value
+}
+
+// value reads the term's value under a binding row (the row's slot values
+// plus its bound-slot mask), reporting whether it is bound — the row-path
+// counterpart of termValue.
+func (ref termRef) value(row []relstore.Value, mask uint64) (relstore.Value, bool) {
+	switch ref.slot {
+	case slotConstant:
+		return ref.konst, true
+	case slotAnon:
+		return relstore.Null(), false
+	default:
+		if mask&(uint64(1)<<uint(ref.slot)) != 0 {
+			return row[ref.slot], true
+		}
+		return relstore.Null(), false
+	}
+}
+
+// rowSchema is the compact variable→slot assignment of one rule plus the
+// pre-resolved term references of every literal (and the head), so columnar
+// evaluation addresses values by position only.
+type rowSchema struct {
+	// vars maps slot -> variable name (the analyzer's inventory order).
+	vars []string
+	// slots maps variable name -> slot.
+	slots map[string]int
+	// atoms holds the per-term slot references of every body atom.
+	atoms map[*Atom][]termRef
+	// comps holds the left/right slot references of every comparison.
+	comps map[*Comparison][2]termRef
+	// head holds the head terms' slot references, in head column order.
+	head []termRef
+}
+
+// newRowSchema assigns slots for the rule's variable inventory (as computed by
+// the analyzer) and resolves every literal. It returns nil when the rule has
+// more variables than the bitmask supports, signalling the engine to fall back
+// to map bindings for this rule.
+func newRowSchema(r *Rule, vars []string) *rowSchema {
+	if len(vars) > maxRowSlots {
+		return nil
+	}
+	rs := &rowSchema{
+		vars:  vars,
+		slots: make(map[string]int, len(vars)),
+		atoms: make(map[*Atom][]termRef, len(r.Body)),
+		comps: make(map[*Comparison][2]termRef),
+	}
+	for i, v := range vars {
+		rs.slots[v] = i
+	}
+	for _, lit := range r.Body {
+		switch l := lit.(type) {
+		case *Atom:
+			rs.atoms[l] = rs.resolveTerms(l.Terms)
+		case *Comparison:
+			rs.comps[l] = [2]termRef{rs.resolveTerm(l.Left), rs.resolveTerm(l.Right)}
+		}
+	}
+	rs.head = rs.resolveTerms(r.Head.Terms)
+	return rs
+}
+
+func (rs *rowSchema) resolveTerms(terms []Term) []termRef {
+	out := make([]termRef, len(terms))
+	for i, t := range terms {
+		out[i] = rs.resolveTerm(t)
+	}
+	return out
+}
+
+func (rs *rowSchema) resolveTerm(t Term) termRef {
+	switch tm := t.(type) {
+	case Constant:
+		return termRef{slot: slotConstant, konst: tm.Value}
+	case Variable:
+		if tm.Anonymous() {
+			return termRef{slot: slotAnon}
+		}
+		if s, ok := rs.slots[string(tm)]; ok {
+			return termRef{slot: s}
+		}
+		// Unreachable for analyzed rules: the inventory covers every variable.
+		return termRef{slot: slotAnon}
+	default:
+		return termRef{slot: slotAnon}
 	}
 }

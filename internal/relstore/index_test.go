@@ -244,3 +244,91 @@ func TestSelectEqMultiMatchesScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestContainsAt(t *testing.T) {
+	r := NewRelation("w", MustSchema("a:int", "b:string"))
+	r.MustInsert(1, "x")
+	r.MustInsert(2, "y")
+
+	found, err := r.ContainsAt([]int{0, 1}, []Value{Int(1), String("x")})
+	if err != nil || !found {
+		t.Errorf("ContainsAt existing = %v, %v", found, err)
+	}
+	found, err = r.ContainsAt([]int{0}, []Value{Int(3)})
+	if err != nil || found {
+		t.Errorf("ContainsAt missing = %v, %v", found, err)
+	}
+	// Indexed probes answer the same way.
+	if err := r.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	found, err = r.ContainsAt([]int{0}, []Value{Int(2)})
+	if err != nil || !found {
+		t.Errorf("ContainsAt indexed = %v, %v", found, err)
+	}
+	// Contract violations surface as errors.
+	if _, err := r.ContainsAt([]int{1, 0}, []Value{Int(1), Int(2)}); err == nil {
+		t.Error("descending positions should error")
+	}
+	if _, err := r.ContainsAt(nil, nil); err == nil {
+		t.Error("empty positions should error")
+	}
+}
+
+// TestIndexBucketPromotionOnDelete drives the first/overflow bucket split of
+// the inline-first index layout: several tuples sharing one indexed value
+// land in the same bucket, and deleting them in various orders must keep
+// probes exact (including promoting an overflow tuple to the inline slot).
+func TestIndexBucketPromotionOnDelete(t *testing.T) {
+	r := NewRelation("w", MustSchema("a:int", "b:int"))
+	if err := r.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		r.MustInsert(7, b)
+	}
+	probe := func() []Tuple {
+		out, err := r.SelectEqMulti([]string{"a"}, []Value{Int(7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := probe(); len(got) != 4 {
+		t.Fatalf("bucket = %v, want 4 tuples", got)
+	}
+	// Delete the first-inserted tuple: an overflow tuple must be promoted.
+	if ok, _ := r.Delete(NewTuple(7, 0)); !ok {
+		t.Fatal("delete (7,0) failed")
+	}
+	if got := probe(); len(got) != 3 {
+		t.Fatalf("after first delete: %v", got)
+	}
+	// Delete from the middle of the overflow list.
+	if ok, _ := r.Delete(NewTuple(7, 2)); !ok {
+		t.Fatal("delete (7,2) failed")
+	}
+	got := probe()
+	if len(got) != 2 {
+		t.Fatalf("after second delete: %v", got)
+	}
+	want := []Tuple{NewTuple(7, 1), NewTuple(7, 3)}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Drain the bucket entirely and reinsert.
+	r.Delete(NewTuple(7, 1))
+	r.Delete(NewTuple(7, 3))
+	if got := probe(); len(got) != 0 {
+		t.Fatalf("after drain: %v", got)
+	}
+	r.MustInsert(7, 9)
+	if got := probe(); len(got) != 1 || !got[0].Equal(NewTuple(7, 9)) {
+		t.Fatalf("after reinsert: %v", got)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}

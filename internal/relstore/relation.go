@@ -2,19 +2,44 @@ package relstore
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 )
 
-// index is a hash index over one or more columns. Buckets map the combined
-// hash of the indexed column values to the keys of the tuples holding them;
-// lookups re-verify equality to tolerate hash collisions.
+// index is a hash index over one or more columns, bucketing the stored
+// tuples by the combined hash of the indexed column values; lookups re-verify
+// equality to tolerate hash collisions. Buckets reference the stored tuples
+// directly, so a probe yields tuples with no intermediate key lookup or
+// string materialisation, and the first tuple of each bucket is stored
+// inline (first/overflow split) so indexing a tuple under a fresh hash —
+// the overwhelmingly common case — allocates no bucket slice.
 type index struct {
-	cols    []int // column positions, sorted ascending
-	buckets map[uint64][]string
+	cols     []int // column positions, sorted ascending
+	first    map[uint64]Tuple
+	overflow map[uint64][]Tuple
+}
+
+func newIndex(cols []int) *index {
+	return &index{cols: cols, first: make(map[uint64]Tuple), overflow: make(map[uint64][]Tuple)}
+}
+
+// probe calls fn for every tuple in the bucket of hash h, in insertion order
+// modulo deletions, until fn returns false.
+func (ix *index) probe(h uint64, fn func(Tuple) bool) {
+	ft, ok := ix.first[h]
+	if !ok {
+		return
+	}
+	if !fn(ft) {
+		return
+	}
+	for _, t := range ix.overflow[h] {
+		if !fn(t) {
+			return
+		}
+	}
 }
 
 // indexKey canonically names an index by its sorted column positions, so an
@@ -37,30 +62,67 @@ func HashValues(vals ...Value) uint64 {
 	if len(vals) == 1 {
 		return vals[0].Hash()
 	}
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, v := range vals {
-		writeUint64(h, v.Hash())
+		h = fnvUint64(h, v.Hash())
 	}
-	return h.Sum64()
+	return h
 }
 
-func (ix *index) insert(key string, t Tuple) {
-	h := t.HashAt(ix.cols...)
-	ix.buckets[h] = append(ix.buckets[h], key)
-}
-
-func (ix *index) remove(key string, t Tuple) {
-	h := t.HashAt(ix.cols...)
-	keys := ix.buckets[h]
-	for i, k := range keys {
-		if k == key {
-			ix.buckets[h] = append(keys[:i], keys[i+1:]...)
-			break
+// storedEqual is the set-semantics equality of the tuple store: Value.Equal
+// plus NaN == NaN. The former canonical-key layout rendered every NaN as the
+// same string, so NaN facts deduplicated; folding NaNs here preserves that —
+// without it a rule deriving a NaN fact would re-insert it every fixpoint
+// iteration and evaluation would never converge. Probe APIs (ScanEq*) keep
+// plain Equal semantics: a NaN probe matches nothing, as before.
+func storedEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !EqualValues(&a[i], &b[i]) && !(a[i].isNaN() && b[i].isNaN()) {
+			return false
 		}
 	}
-	if len(ix.buckets[h]) == 0 {
-		delete(ix.buckets, h)
+	return true
+}
+
+func (ix *index) insert(t Tuple) {
+	h := t.HashAt(ix.cols...)
+	if _, ok := ix.first[h]; !ok {
+		ix.first[h] = t
+		return
 	}
+	ix.overflow[h] = append(ix.overflow[h], t)
+}
+
+func (ix *index) remove(t Tuple) {
+	h := t.HashAt(ix.cols...)
+	ft, ok := ix.first[h]
+	bucket := ix.overflow[h]
+	if ok && storedEqual(ft, t) {
+		if len(bucket) > 0 {
+			ix.first[h] = bucket[0]
+			ix.setOverflow(h, bucket[1:])
+		} else {
+			delete(ix.first, h)
+		}
+		return
+	}
+	for i, bt := range bucket {
+		if storedEqual(bt, t) {
+			ix.setOverflow(h, append(bucket[:i], bucket[i+1:]...))
+			return
+		}
+	}
+}
+
+func (ix *index) setOverflow(h uint64, bucket []Tuple) {
+	if len(bucket) == 0 {
+		delete(ix.overflow, h)
+		return
+	}
+	ix.overflow[h] = bucket
 }
 
 // Relation is a named, schema-typed set of tuples with optional hash indexes
@@ -84,19 +146,44 @@ type Relation struct {
 	name   string
 	schema *Schema
 
-	mu      sync.RWMutex
-	rows    map[string]Tuple  // key -> tuple
-	indexes map[string]*index // indexKey -> composite hash index
-	version uint64
+	mu sync.RWMutex
+	// rows buckets the stored tuples by Tuple.Hash; equality is re-verified
+	// on insert and lookup, so hash collisions only cost a short linear walk.
+	// Bucketing by hash instead of a canonical string key keeps Insert free
+	// of per-tuple string materialisation — the dominant allocation of the
+	// seed layout on the CyLog merge path — and the first tuple of each
+	// bucket lives inline in rows (collisions spill to overflow), so the
+	// common insert allocates nothing beyond amortised map growth.
+	rows     map[uint64]Tuple
+	overflow map[uint64][]Tuple
+	count    int
+	indexes  map[string]*index // indexKey -> composite hash index
+	version  uint64
+}
+
+// forEachLocked calls fn for every stored tuple until fn returns false.
+// Callers must hold at least the read lock.
+func (r *Relation) forEachLocked(fn func(Tuple) bool) {
+	for h, t := range r.rows {
+		if !fn(t) {
+			return
+		}
+		for _, ot := range r.overflow[h] {
+			if !fn(ot) {
+				return
+			}
+		}
+	}
 }
 
 // NewRelation creates an empty relation with the given name and schema.
 func NewRelation(name string, schema *Schema) *Relation {
 	return &Relation{
-		name:    name,
-		schema:  schema,
-		rows:    make(map[string]Tuple),
-		indexes: make(map[string]*index),
+		name:     name,
+		schema:   schema,
+		rows:     make(map[uint64]Tuple),
+		overflow: make(map[uint64][]Tuple),
+		indexes:  make(map[string]*index),
 	}
 }
 
@@ -111,7 +198,7 @@ func (r *Relation) Schema() *Schema { return r.schema }
 func (r *Relation) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.rows)
+	return r.count
 }
 
 // Version returns a counter incremented on every successful mutation. It lets
@@ -156,10 +243,11 @@ func (r *Relation) CreateIndex(columns ...string) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ix := &index{cols: cols, buckets: make(map[uint64][]string)}
-	for key, t := range r.rows {
-		ix.insert(key, t)
-	}
+	ix := newIndex(cols)
+	r.forEachLocked(func(t Tuple) bool {
+		ix.insert(t)
+		return true
+	})
 	r.indexes[indexKey(cols)] = ix
 	return nil
 }
@@ -238,10 +326,11 @@ func (r *Relation) EnsureIndexAt(positions []int) error {
 	if _, ok := r.indexes[k]; ok {
 		return nil
 	}
-	ix := &index{cols: append([]int(nil), positions...), buckets: make(map[uint64][]string)}
-	for key, t := range r.rows {
-		ix.insert(key, t)
-	}
+	ix := newIndex(append([]int(nil), positions...))
+	r.forEachLocked(func(t Tuple) bool {
+		ix.insert(t)
+		return true
+	})
 	r.indexes[k] = ix
 	return nil
 }
@@ -276,15 +365,25 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	key := ct.Key()
+	h := ct.Hash()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, exists := r.rows[key]; exists {
-		return false, nil
+	if ft, ok := r.rows[h]; ok {
+		if storedEqual(ft, ct) {
+			return false, nil
+		}
+		for _, bt := range r.overflow[h] {
+			if storedEqual(bt, ct) {
+				return false, nil
+			}
+		}
+		r.overflow[h] = append(r.overflow[h], ct)
+	} else {
+		r.rows[h] = ct
 	}
-	r.rows[key] = ct
+	r.count++
 	for _, ix := range r.indexes {
-		ix.insert(key, ct)
+		ix.insert(ct)
 	}
 	r.version++
 	return true, nil
@@ -322,18 +421,51 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	key := ct.Key()
+	h := ct.Hash()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, exists := r.rows[key]; !exists {
+	ft, ok := r.rows[h]
+	if !ok {
 		return false, nil
 	}
-	delete(r.rows, key)
+	var stored Tuple
+	bucket := r.overflow[h]
+	if storedEqual(ft, ct) {
+		stored = ft
+		if len(bucket) > 0 {
+			r.rows[h] = bucket[0]
+			r.setOverflow(h, bucket[1:])
+		} else {
+			delete(r.rows, h)
+		}
+	} else {
+		found := -1
+		for i, bt := range bucket {
+			if storedEqual(bt, ct) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false, nil
+		}
+		stored = bucket[found]
+		r.setOverflow(h, append(bucket[:found], bucket[found+1:]...))
+	}
+	r.count--
 	for _, ix := range r.indexes {
-		ix.remove(key, ct)
+		ix.remove(stored)
 	}
 	r.version++
 	return true, nil
+}
+
+func (r *Relation) setOverflow(h uint64, bucket []Tuple) {
+	if len(bucket) == 0 {
+		delete(r.overflow, h)
+		return
+	}
+	r.overflow[h] = bucket
 }
 
 // DeleteWhere removes every tuple for which pred returns true and returns the
@@ -357,17 +489,28 @@ func (r *Relation) Contains(t Tuple) bool {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.rows[ct.Key()]
-	return ok
+	h := ct.Hash()
+	if ft, ok := r.rows[h]; ok {
+		if storedEqual(ft, ct) {
+			return true
+		}
+		for _, bt := range r.overflow[h] {
+			if storedEqual(bt, ct) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // All returns every tuple in deterministic (sorted) order.
 func (r *Relation) All() []Tuple {
 	r.mu.RLock()
-	out := make([]Tuple, 0, len(r.rows))
-	for _, t := range r.rows {
+	out := make([]Tuple, 0, r.count)
+	r.forEachLocked(func(t Tuple) bool {
 		out = append(out, t)
-	}
+		return true
+	})
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
@@ -378,17 +521,33 @@ func (r *Relation) All() []Tuple {
 func (r *Relation) Scan(fn func(Tuple) bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, t := range r.rows {
-		if !fn(t) {
-			return
-		}
-	}
+	r.forEachLocked(fn)
 }
 
 // lookup finds the index covering exactly the given column positions.
-// Callers must hold at least the read lock and pass sorted positions.
+// Callers must hold at least the read lock and pass sorted positions. The
+// candidates are compared positionally rather than through indexKey, so the
+// per-probe lookup allocates nothing (relations carry at most a handful of
+// indexes).
 func (r *Relation) lookup(cols []int) *index {
-	return r.indexes[indexKey(cols)]
+	for _, ix := range r.indexes {
+		if positionsEqual(ix.cols, cols) {
+			return ix
+		}
+	}
+	return nil
+}
+
+func positionsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ScanEq calls fn for every tuple whose values at the given columns equal the
@@ -461,31 +620,43 @@ func (r *Relation) ScanEqAt(positions []int, vals []Value, fn func(Tuple) bool) 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if ix := r.lookup(positions); ix != nil {
-		for _, key := range ix.buckets[HashValues(vals...)] {
-			t := r.rows[key]
-			if matches(t) && !fn(t) {
-				break
-			}
-		}
+		ix.probe(HashValues(vals...), func(t Tuple) bool {
+			return !matches(t) || fn(t)
+		})
 		return true, nil
 	}
-	for _, t := range r.rows {
-		if matches(t) && !fn(t) {
-			break
-		}
-	}
+	r.forEachLocked(func(t Tuple) bool {
+		return !matches(t) || fn(t)
+	})
 	return false, nil
+}
+
+// ContainsAt reports whether any tuple's values at the given positions
+// (strictly ascending) equal the corresponding vals. It is the existence
+// probe of the position-based API family: callers holding resolved positions
+// and values — e.g. the CyLog engine checking whether an open relation
+// already has a fact for a request key — probe without re-boxing values into
+// tuples or resolving column names. An index covering exactly that column
+// set answers in O(1); otherwise the scan stops at the first match.
+func (r *Relation) ContainsAt(positions []int, vals []Value) (bool, error) {
+	found := false
+	_, err := r.ScanEqAt(positions, vals, func(Tuple) bool {
+		found = true
+		return false
+	})
+	return found, err
 }
 
 // Select returns every tuple satisfying pred, in deterministic order.
 func (r *Relation) Select(pred func(Tuple) bool) []Tuple {
 	r.mu.RLock()
 	out := make([]Tuple, 0)
-	for _, t := range r.rows {
+	r.forEachLocked(func(t Tuple) bool {
 		if pred(t) {
 			out = append(out, t)
 		}
-	}
+		return true
+	})
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
@@ -532,14 +703,15 @@ func (r *Relation) Project(columns ...string) ([]Tuple, error) {
 	seen := make(map[string]bool)
 	var out []Tuple
 	r.mu.RLock()
-	for _, t := range r.rows {
+	r.forEachLocked(func(t Tuple) bool {
 		p := t.Project(positions...)
 		k := p.Key()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, p)
 		}
-	}
+		return true
+	})
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out, nil
@@ -549,12 +721,15 @@ func (r *Relation) Project(columns ...string) ([]Tuple, error) {
 func (r *Relation) Clear() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.rows) == 0 {
+	if r.count == 0 {
 		return
 	}
-	r.rows = make(map[string]Tuple)
+	r.rows = make(map[uint64]Tuple)
+	r.overflow = make(map[uint64][]Tuple)
+	r.count = 0
 	for _, ix := range r.indexes {
-		ix.buckets = make(map[uint64][]string)
+		ix.first = make(map[uint64]Tuple)
+		ix.overflow = make(map[uint64][]Tuple)
 	}
 	r.version++
 }
@@ -567,15 +742,16 @@ func (r *Relation) Clone() *Relation {
 	for _, ix := range r.indexes {
 		colSets = append(colSets, append([]int(nil), ix.cols...))
 	}
-	tuples := make([]Tuple, 0, len(r.rows))
-	for _, t := range r.rows {
+	tuples := make([]Tuple, 0, r.count)
+	r.forEachLocked(func(t Tuple) bool {
 		tuples = append(tuples, t)
-	}
+		return true
+	})
 	r.mu.RUnlock()
 
 	c := NewRelation(r.name, r.schema)
 	for _, cols := range colSets {
-		c.indexes[indexKey(cols)] = &index{cols: cols, buckets: make(map[uint64][]string)}
+		c.indexes[indexKey(cols)] = newIndex(cols)
 	}
 	for _, t := range tuples {
 		c.Insert(t) //nolint:errcheck // tuples came from a schema-validated relation

@@ -3,6 +3,7 @@ package relstore
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -598,4 +599,41 @@ func ExampleRelation_SelectEq() {
 	// Output:
 	// (1, "en")
 	// (3, "en")
+}
+
+// TestRelationNaNSetSemantics pins the set semantics of NaN facts: under the
+// former canonical-key layout every NaN rendered as the same key, so a NaN
+// tuple deduplicated with itself; the hash-bucket layout must preserve that
+// (storedEqual folds NaNs) or a rule deriving a NaN fact would be re-inserted
+// on every fixpoint iteration and evaluation would never converge.
+func TestRelationNaNSetSemantics(t *testing.T) {
+	r := NewRelation("n", MustSchema("x:float"))
+	nan := math.NaN()
+	if ok, err := r.Insert(NewTuple(nan)); !ok || err != nil {
+		t.Fatalf("first insert: %v %v", ok, err)
+	}
+	if ok, err := r.Insert(NewTuple(nan)); ok || err != nil {
+		t.Errorf("second NaN insert should dedupe, got inserted=%v err=%v", ok, err)
+	}
+	// A NaN with a different payload must dedupe too (the old key rendered
+	// every NaN identically).
+	otherNaN := math.Float64frombits(math.Float64bits(nan) ^ 1)
+	if !math.IsNaN(otherNaN) {
+		t.Fatal("payload flip should still be NaN")
+	}
+	if ok, _ := r.Insert(NewTuple(otherNaN)); ok {
+		t.Error("NaN with different payload should dedupe")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if !r.Contains(NewTuple(nan)) {
+		t.Error("Contains(NaN) should be true")
+	}
+	if ok, err := r.Delete(NewTuple(nan)); !ok || err != nil {
+		t.Errorf("Delete(NaN): %v %v", ok, err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after delete = %d", r.Len())
+	}
 }

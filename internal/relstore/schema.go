@@ -152,6 +152,21 @@ func (s *Schema) Coerce(t Tuple) (Tuple, error) {
 	if len(t) != len(s.cols) {
 		return nil, fmt.Errorf("relstore: tuple arity %d does not match schema arity %d", len(t), len(s.cols))
 	}
+	// Fast path: a tuple whose values already carry the declared types needs
+	// no conversion — every case below is the identity for an exact-type
+	// value. Returning t unchanged (tuples are immutable by contract) spares
+	// a copy per inserted tuple on the CyLog merge path, where rule heads
+	// always produce exact-typed values.
+	exact := true
+	for i, v := range t {
+		if v.t != TypeNull && v.t != s.cols[i].Type {
+			exact = false
+			break
+		}
+	}
+	if exact {
+		return t, nil
+	}
 	out := make(Tuple, len(t))
 	for i, v := range t {
 		if v.IsNull() {

@@ -1,7 +1,7 @@
 package relstore
 
 import (
-	"hash/fnv"
+	"strconv"
 	"strings"
 )
 
@@ -52,13 +52,14 @@ func (t Tuple) Compare(o Tuple) int {
 	return len(t) - len(o)
 }
 
-// Hash combines the hashes of all values.
+// Hash combines the hashes of all values. It is allocation-free; relations
+// use it to bucket tuples for set semantics.
 func (t Tuple) Hash() uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, v := range t {
-		writeUint64(h, v.Hash())
+		h = fnvUint64(h, v.Hash())
 	}
-	return h.Sum64()
+	return h
 }
 
 // HashAt combines the hashes of the values at the given positions, using the
@@ -71,26 +72,39 @@ func (t Tuple) HashAt(positions ...int) uint64 {
 	if len(positions) == 1 {
 		return t[positions[0]].Hash()
 	}
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, p := range positions {
-		writeUint64(h, t[p].Hash())
+		h = fnvUint64(h, t[p].Hash())
 	}
-	return h.Sum64()
+	return h
 }
 
-// Key returns a string key uniquely identifying the tuple contents; used for
-// set semantics in relations. Equal tuples produce equal keys.
+// Key returns a string key uniquely identifying the tuple contents; callers
+// (join/dedupe helpers) use it for set semantics in external hash maps. Equal
+// tuples produce equal keys. The key is built in a single byte buffer —
+// two allocations per call regardless of arity.
 func (t Tuple) Key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 12*len(t))
 	for i, v := range t {
 		if i > 0 {
-			b.WriteByte('\x1f')
+			buf = append(buf, '\x1f')
 		}
-		b.WriteByte(byte('0' + int(canonicalType(v))))
-		b.WriteByte(':')
-		b.WriteString(canonicalString(v))
+		buf = append(buf, byte('0'+int(canonicalType(v))), ':')
+		buf = appendCanonical(buf, v)
 	}
-	return b.String()
+	return string(buf)
+}
+
+// appendCanonical appends canonicalString(v) without the intermediate string.
+func appendCanonical(buf []byte, v Value) []byte {
+	if v.isNumeric() {
+		f, _ := v.AsFloat()
+		if f == float64(int64(f)) {
+			return strconv.AppendInt(buf, int64(f), 10)
+		}
+		return strconv.AppendFloat(buf, f, 'g', -1, 64)
+	}
+	return append(buf, v.AsString()...)
 }
 
 // canonicalType folds int and float into a single numeric class so that
@@ -100,17 +114,6 @@ func canonicalType(v Value) Type {
 		return TypeInt
 	}
 	return v.t
-}
-
-func canonicalString(v Value) string {
-	if v.isNumeric() {
-		f, _ := v.AsFloat()
-		if f == float64(int64(f)) {
-			return Int(int64(f)).AsString()
-		}
-		return Float(f).AsString()
-	}
-	return v.AsString()
 }
 
 // String renders the tuple as "(v1, v2, ...)".

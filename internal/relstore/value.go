@@ -9,7 +9,6 @@ package relstore
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -185,6 +184,13 @@ func (v Value) String() string {
 // Equal reports value equality. Numeric values of different types (int vs
 // float) compare by numeric value, matching CyLog comparison semantics.
 func (v Value) Equal(o Value) bool {
+	return EqualValues(&v, &o)
+}
+
+// EqualValues is Equal through pointers: values in the engine's hot join
+// loops live in slices, and passing them by value copies the full struct
+// twice per comparison. Semantics are identical to Equal.
+func EqualValues(v, o *Value) bool {
 	if v.t == o.t {
 		switch v.t {
 		case TypeNull:
@@ -208,6 +214,9 @@ func (v Value) Equal(o Value) bool {
 }
 
 func (v Value) isNumeric() bool { return v.t == TypeInt || v.t == TypeFloat }
+
+// isNaN reports whether the value is a floating-point NaN.
+func (v Value) isNaN() bool { return v.t == TypeFloat && math.IsNaN(v.f) }
 
 // Compare orders two values. NULL sorts before everything; mixed numeric types
 // compare numerically; otherwise values are compared within their type, and
@@ -255,45 +264,69 @@ func (v Value) Compare(o Value) int {
 	return 0
 }
 
-// Hash returns a stable hash of the value, used by relation indexes. Values
-// that are Equal hash identically (ints and equal-valued floats share the
-// numeric hash path).
-func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	switch {
-	case v.t == TypeNull:
-		h.Write([]byte{0})
-	case v.isNumeric():
-		f, _ := v.AsFloat()
-		if f == math.Trunc(f) && !math.IsInf(f, 0) {
-			// Integral values hash by their integer representation so that
-			// Int(3) and Float(3.0) collide, matching Equal.
-			h.Write([]byte{1})
-			writeUint64(h, uint64(int64(f)))
-		} else {
-			h.Write([]byte{2})
-			writeUint64(h, math.Float64bits(f))
-		}
-	case v.t == TypeString:
-		h.Write([]byte{3})
-		h.Write([]byte(v.s))
-	case v.t == TypeBool:
-		h.Write([]byte{4})
-		if v.b {
-			h.Write([]byte{1})
-		} else {
-			h.Write([]byte{0})
-		}
+// FNV-1a, inlined. hash/fnv's New64a allocates a hasher per call, which made
+// hashing the single largest allocator in the CyLog join loop (every index
+// probe, index insert and frontier probe hashes values). These helpers fold
+// bytes into a plain uint64 accumulator instead; they produce bit-identical
+// digests to writing the same bytes into hash/fnv's Sum64a.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvUint64 folds the 8 little-endian bytes of x into h.
+func fnvUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x>>(8*uint(i))))
 	}
-	return h.Sum64()
+	return h
 }
 
-func writeUint64(h interface{ Write([]byte) (int, error) }, x uint64) {
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(x >> (8 * uint(i)))
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
 	}
-	h.Write(buf[:])
+	return h
+}
+
+// Hash returns a stable hash of the value, used by relation indexes. Values
+// that are Equal hash identically (ints and equal-valued floats share the
+// numeric hash path). The implementation is allocation-free: it runs once per
+// probed or inserted value on the engine's hot path.
+func (v Value) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	switch {
+	case v.t == TypeNull:
+		h = fnvByte(h, 0)
+	case v.isNumeric():
+		f, _ := v.AsFloat()
+		if math.IsNaN(f) {
+			// All NaN payloads hash alike, matching storedEqual's NaN
+			// folding (relation set semantics).
+			h = fnvByte(h, 5)
+		} else if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			// Integral values hash by their integer representation so that
+			// Int(3) and Float(3.0) collide, matching Equal.
+			h = fnvByte(h, 1)
+			h = fnvUint64(h, uint64(int64(f)))
+		} else {
+			h = fnvByte(h, 2)
+			h = fnvUint64(h, math.Float64bits(f))
+		}
+	case v.t == TypeString:
+		h = fnvByte(h, 3)
+		h = fnvString(h, v.s)
+	case v.t == TypeBool:
+		h = fnvByte(h, 4)
+		if v.b {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	return h
 }
 
 // FromGo converts a native Go value into a Value. Supported inputs are nil,
