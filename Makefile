@@ -11,10 +11,10 @@ BENCHPKGS := ./internal/cylog/ ./internal/relstore/
 STATICCHECK_VERSION ?= 2024.1.1
 
 # Coverage floors for the engine packages, enforced by `make cover`. Current
-# coverage is ~92% (cylog) and ~88% (relstore); the floors sit a couple of
-# points below to absorb refactoring noise. Raise them when coverage
+# coverage is ~92.7% (cylog) and ~88.8% (relstore); the floors sit a couple
+# of points below to absorb refactoring noise. Raise them when coverage
 # genuinely improves; never lower them to make CI pass.
-COVER_FLOOR_CYLOG    ?= 90
+COVER_FLOOR_CYLOG    ?= 91
 COVER_FLOOR_RELSTORE ?= 85
 
 BENCHOUT     ?= bench.out

@@ -37,6 +37,16 @@ type Analysis struct {
 	// rule's binding-row slot schema, so the order is part of the engine's
 	// deterministic behaviour and must not depend on map iteration.
 	RuleVars map[*Rule][]string
+	// StratumInputs is the relation→stratum dependency map used by
+	// incremental evaluation, stored transposed: entry i holds the relations
+	// read by a *positive* body atom of some rule in Strata[i] — exactly the
+	// relations whose growth can yield new facts or new open requests there.
+	// RunIncremental skips stratum i outright when none of its inputs gained
+	// tuples since the last fixpoint. Negated atoms are deliberately
+	// excluded: relations are insert-only, so a grown negated relation can
+	// only suppress derivations, never add any — skipping on negated-only
+	// changes matches what a full re-run would derive.
+	StratumInputs []map[string]bool
 }
 
 // ruleVariableInventory collects the named variables of a rule in
@@ -194,7 +204,26 @@ func Analyze(p *Program) (*Analysis, error) {
 		return nil, err
 	}
 	a.Strata = strata
+	a.StratumInputs = stratumInputs(strata)
 	return a, nil
+}
+
+// stratumInputs computes, per stratum, the set of relations its rules read
+// through positive body atoms (see Analysis.StratumInputs).
+func stratumInputs(strata [][]*Rule) []map[string]bool {
+	out := make([]map[string]bool, len(strata))
+	for i, rules := range strata {
+		inputs := make(map[string]bool)
+		for _, r := range rules {
+			for _, lit := range r.Body {
+				if atom, ok := lit.(*Atom); ok && !atom.Negated {
+					inputs[atom.Predicate] = true
+				}
+			}
+		}
+		out[i] = inputs
+	}
+	return out
 }
 
 // stratify computes a stratification of the rules: a partition into ordered

@@ -129,6 +129,36 @@ ok(W) :- worker(W), !banned(W).
 	}
 }
 
+// TestAnalyzeStratumInputs pins the relation→stratum dependency map behind
+// incremental stratum skipping: per stratum, exactly the relations read by a
+// positive body atom — negated atoms excluded, because in an insert-only
+// store their growth can only suppress derivations.
+func TestAnalyzeStratumInputs(t *testing.T) {
+	a := MustAnalyze(MustParse(incrementalProgram))
+	if len(a.Strata) != 3 {
+		t.Fatalf("strata = %d, want 3", len(a.Strata))
+	}
+	if len(a.StratumInputs) != len(a.Strata) {
+		t.Fatalf("StratumInputs has %d entries for %d strata", len(a.StratumInputs), len(a.Strata))
+	}
+	want := []map[string]bool{
+		{"edge": true, "reach": true, "node": true, "label": true},
+		{"node": true, "endpoint": true}, // labeled/reach/source appear only negated
+		{"labeled": true},
+	}
+	for i, inputs := range a.StratumInputs {
+		if len(inputs) != len(want[i]) {
+			t.Errorf("StratumInputs[%d] = %v, want %v", i, inputs, want[i])
+			continue
+		}
+		for rel := range want[i] {
+			if !inputs[rel] {
+				t.Errorf("StratumInputs[%d] missing %q: %v", i, rel, inputs)
+			}
+		}
+	}
+}
+
 func TestMustAnalyzePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

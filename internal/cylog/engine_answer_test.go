@@ -125,6 +125,104 @@ func TestEngineAnswerAfterAnswerFactClosedRequest(t *testing.T) {
 	}
 }
 
+// TestAnswerFactSubsetKeySweep is the regression test for the shared
+// key-matching helper (matchesRequestKey): when an open relation's key
+// columns are a strict subset of its columns, AnswerFact must clear exactly
+// the pending request whose key values the fact carries — comparing key
+// columns only, never the open columns — and leave the other requests
+// pending.
+func TestAnswerFactSubsetKeySweep(t *testing.T) {
+	e, err := NewEngine(MustParse(`
+rel item(id: int).
+open rel review(id: int, stars: int, note: string) key(id) asks "Review this item".
+rel reviewed(id: int).
+item(1).
+item(2).
+item(3).
+reviewed(I) :- item(I), review(I, _, _).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("requests = %v", reqs)
+	}
+	if err := e.AnswerFact("review", 2, 5, "solid"); err != nil {
+		t.Fatal(err)
+	}
+	pending := e.PendingRequests()
+	if len(pending) != 2 {
+		t.Fatalf("pending after sweep = %v, want items 1 and 3", pending)
+	}
+	for _, r := range pending {
+		if id, _ := r.Key()["id"].AsInt(); id == 2 {
+			t.Errorf("request for item 2 should have been swept: %v", r)
+		}
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Facts("reviewed")); got != 1 {
+		t.Errorf("reviewed = %v", e.Facts("reviewed"))
+	}
+	// A second fact for the same key (different open columns) sweeps nothing
+	// further but must not error or resurrect the request.
+	if err := e.AnswerFact("review", 2, 1, "changed my mind"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.PendingRequests()); got != 2 {
+		t.Errorf("pending after duplicate-key fact = %d, want 2", got)
+	}
+}
+
+// TestAnswerFactSweepWithoutDeclaredKey covers the sweep's slow path: an open
+// relation with no key() clause issues requests keyed on whatever columns the
+// generating rule bound, so closing by fact must compare key values against
+// every pending request of the relation instead of computing a request id.
+func TestAnswerFactSweepWithoutDeclaredKey(t *testing.T) {
+	e, err := NewEngine(MustParse(`
+rel pair(a: int, b: int).
+open rel judge(a: int, b: int, ok: bool) asks "Judge this pair".
+rel judged(a: int, b: int).
+pair(1, 2).
+pair(3, 4).
+judged(A, B) :- pair(A, B), judge(A, B, _).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %v", reqs)
+	}
+	if len(reqs[0].KeyColumns) != 2 || len(reqs[0].OpenColumns) != 1 {
+		t.Fatalf("default-key request shape = %+v", reqs[0])
+	}
+	if err := e.AnswerFact("judge", 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	pending := e.PendingRequests()
+	if len(pending) != 1 {
+		t.Fatalf("pending after sweep = %v, want only pair (3,4)", pending)
+	}
+	if a, _ := pending[0].Key()["a"].AsInt(); a != 3 {
+		t.Errorf("remaining request = %v, want pair (3,4)", pending[0])
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Facts("judged")); got != 1 {
+		t.Errorf("judged = %v", e.Facts("judged"))
+	}
+}
+
 // TestEngineDuplicateKeyColumnRequests covers an open declaration whose
 // key() repeats a column: keyExists must collapse the duplicate positions
 // (not silently treat every fact as absent), so a fact loaded for the key

@@ -207,3 +207,52 @@ func BenchmarkGuardedReach(b *testing.B) {
 	b.Run("delta-hashed-1k", func(b *testing.B) { benchGuardedReach(b, 1000, true) })
 	b.Run("delta-hashed-10k", func(b *testing.B) { benchGuardedReach(b, 10000, true) })
 }
+
+// benchOracleLoop measures the round-based crowd loop on the crowdTCProgram
+// workload (defined with its loaders in engine_incremental_test.go): a
+// 10-chain transitive closure whose chain endpoints each need a human
+// approval, answered `wave` requests per round by the oracle. With
+// incremental answering on, each answered round seeds its deltas from the
+// round's answer batch and skips the untouched negation stratum; with it
+// off, every round re-runs the full fixpoint — the cost this optimisation
+// removes.
+func benchOracleLoop(b *testing.B, edges, wave int, incremental bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := NewEngine(MustParse(crowdTCProgram))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetParallelism(1)
+		e.SetIncrementalAnswering(incremental)
+		loadCrowdTC(e, edges)
+		b.StartTimer()
+		total, err := e.RunToFixpointWithOracle(waveOracle(wave), 1000)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(e.Facts("approved")); got != edges/10 {
+			b.Fatalf("approved = %d facts, want %d", got, edges/10)
+		}
+		if incremental && total.SkippedStrata == 0 {
+			b.Fatal("incremental loop skipped no strata")
+		}
+		if !incremental && total.SkippedStrata != 0 {
+			b.Fatal("full loop reported skipped strata")
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOracleLoop is the batched-answering benchmark: 10k-scale crowd
+// rounds (1000 endpoints approved 100 per round), incremental vs full
+// re-run. BENCH_cylog.json records the baselines.
+func BenchmarkOracleLoop(b *testing.B) {
+	b.Run("full-1k", func(b *testing.B) { benchOracleLoop(b, 1000, 10, false) })
+	b.Run("incremental-1k", func(b *testing.B) { benchOracleLoop(b, 1000, 10, true) })
+	b.Run("full-10k", func(b *testing.B) { benchOracleLoop(b, 10000, 100, false) })
+	b.Run("incremental-10k", func(b *testing.B) { benchOracleLoop(b, 10000, 100, true) })
+}

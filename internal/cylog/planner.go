@@ -57,11 +57,20 @@ type planCatalog struct {
 
 // planRule orders the body of r for one evaluation pass. deltaAtom is the
 // body index of the atom restricted to an explicit tuple set — the semi-naive
-// delta frontier, or a shard of a parallel full scan — and -1 for an
-// unrestricted pass. Within its run the restricted atom is always scheduled
-// first, since its tuple set is the smallest and most selective input of the
-// pass (for full-scan shards the engine only restricts the atom this planner
-// would have scheduled first anyway, so the plan is unchanged).
+// delta frontier, a seed delta of an incremental run, or a shard of a
+// parallel full scan — and -1 for an unrestricted pass. Within its run the
+// restricted atom is always scheduled first, since its tuple set is the
+// smallest and most selective input of the pass (for full-scan shards the
+// engine only restricts the atom this planner would have scheduled first
+// anyway, so the plan is unchanged).
+//
+// Seeded incremental passes widen what deltaAtom can point at: a recursive
+// fixpoint only restricts in-stratum (closed, derived) atoms, but a seed
+// delta names any relation answers or fresh facts landed in — most often an
+// *open* relation. Open atoms are barriers, so a seeded open delta atom is
+// not pulled to the front: it keeps its source position (request generation
+// depends on what is bound when it runs) and the restriction applies there,
+// while the closed atoms around it reorder exactly as in a full pass.
 func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
 	bound := make(map[string]bool)
 	steps := make([]planStep, 0, len(r.Body))

@@ -325,3 +325,43 @@ pending(S) :- sentence(S, _), translated(S, _).
 		t.Error(err)
 	}
 }
+
+// TestPlannerSeededDeltaSelection pins delta-variant planning for seeded
+// relations (incremental runs restrict atoms over answered open relations
+// and freshly added EDB facts, not just in-stratum recursion): a seeded
+// closed atom leads its run regardless of boundness or cardinality, while a
+// seeded *open* atom is a barrier and keeps its source position — the
+// restriction applies where request generation expects it.
+func TestPlannerSeededDeltaSelection(t *testing.T) {
+	p := MustParse(`
+rel big(a: int, b: int).
+rel small(b: int).
+open rel vote(a: int, ok: bool) key(a) asks "Vote".
+rel out(a: int).
+out(A) :- big(A, B), small(B), vote(A, true).
+`)
+	r := p.Rules[0]
+	cat := testCatalog(map[string]int{"big": 100000, "small": 10}, "vote")
+
+	// Unrestricted pass: small (card 10) before big, vote pinned last.
+	if got := planOrder(planRule(r, -1, cat)); got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("unrestricted plan order = %v, want [1 0 2]", got)
+	}
+
+	// Seeded on big (a closed EDB atom): the delta leads its run even though
+	// small is smaller and equally unbound.
+	steps := planRule(r, 0, cat)
+	if got := planOrder(steps); got[0] != 0 || got[2] != 2 {
+		t.Fatalf("seeded-EDB plan order = %v, want big first and vote pinned", got)
+	}
+
+	// Seeded on vote (an open atom): barriers never move, so the plan equals
+	// the unrestricted one and the restriction applies at source position.
+	steps = planRule(r, 2, cat)
+	if got := planOrder(steps); got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("seeded-open plan order = %v, want [1 0 2]", got)
+	}
+	if atom, ok := steps[2].lit.(*Atom); !ok || atom.Predicate != "vote" {
+		t.Fatalf("step 2 is not the vote atom: %+v", steps[2])
+	}
+}
