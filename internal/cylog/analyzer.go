@@ -31,6 +31,12 @@ type Analysis struct {
 	OpenRelations map[string]bool
 	// DependsOn maps a head relation to the body relations it references.
 	DependsOn map[string][]string
+	// NegDependsOn maps a head relation to the body relations it references
+	// under negation — the relations whose growth can invalidate previously
+	// derived head tuples. The engine's retraction trigger itself works at
+	// stratum granularity through StratumNegInputs; this per-head view is the
+	// analysis surface for tooling, tests and finer-grained propagation.
+	NegDependsOn map[string][]string
 	// RuleVars maps each rule to its variable inventory: every named variable
 	// appearing in the rule, in first-appearance order (body literals in
 	// source order, then the head). The engine turns the inventory into the
@@ -43,10 +49,19 @@ type Analysis struct {
 	// relations whose growth can yield new facts or new open requests there.
 	// RunIncremental skips stratum i outright when none of its inputs gained
 	// tuples since the last fixpoint. Negated atoms are deliberately
-	// excluded: relations are insert-only, so a grown negated relation can
-	// only suppress derivations, never add any — skipping on negated-only
-	// changes matches what a full re-run would derive.
+	// excluded: with retraction disabled relations are insert-only, so a
+	// grown negated relation can only suppress derivations, never add any —
+	// skipping on negated-only changes matches what an insert-only full
+	// re-run would derive. They are tracked separately in StratumNegInputs.
 	StratumInputs []map[string]bool
+	// StratumNegInputs is the negative twin of StratumInputs: entry i holds
+	// the relations read by a *negated* body atom of some rule in Strata[i].
+	// With retraction enabled, a change (insertion or deletion) in one of
+	// these relations means previously derived tuples of the stratum may have
+	// lost their justification (or blocked derivations may have become
+	// valid), so RunIncremental recomputes the affected heads instead of
+	// skipping or delta-seeding the stratum.
+	StratumNegInputs []map[string]bool
 }
 
 // ruleVariableInventory collects the named variables of a rule in
@@ -89,6 +104,7 @@ func Analyze(p *Program) (*Analysis, error) {
 		EDB:           make(map[string]bool),
 		OpenRelations: make(map[string]bool),
 		DependsOn:     make(map[string][]string),
+		NegDependsOn:  make(map[string][]string),
 		RuleVars:      make(map[*Rule][]string, len(p.Rules)),
 	}
 	decls := make(map[string]*Declaration, len(p.Declarations))
@@ -131,7 +147,7 @@ func Analyze(p *Program) (*Analysis, error) {
 		a.IDB[r.Head.Predicate] = true
 
 		positive := make(map[string]bool)
-		var deps []string
+		var deps, negDeps []string
 		hasPositive := false
 		for _, lit := range r.Body {
 			atom, isAtom := lit.(*Atom)
@@ -151,6 +167,8 @@ func Analyze(p *Program) (*Analysis, error) {
 				for _, v := range atom.Variables() {
 					positive[v] = true
 				}
+			} else {
+				negDeps = append(negDeps, atom.Predicate)
 			}
 		}
 		if !hasPositive {
@@ -189,6 +207,7 @@ func Analyze(p *Program) (*Analysis, error) {
 			}
 		}
 		a.DependsOn[r.Head.Predicate] = append(a.DependsOn[r.Head.Predicate], deps...)
+		a.NegDependsOn[r.Head.Predicate] = append(a.NegDependsOn[r.Head.Predicate], negDeps...)
 		a.RuleVars[r] = ruleVariableInventory(r)
 	}
 
@@ -204,19 +223,21 @@ func Analyze(p *Program) (*Analysis, error) {
 		return nil, err
 	}
 	a.Strata = strata
-	a.StratumInputs = stratumInputs(strata)
+	a.StratumInputs = stratumInputs(strata, false)
+	a.StratumNegInputs = stratumInputs(strata, true)
 	return a, nil
 }
 
 // stratumInputs computes, per stratum, the set of relations its rules read
-// through positive body atoms (see Analysis.StratumInputs).
-func stratumInputs(strata [][]*Rule) []map[string]bool {
+// through positive (negated == false) or negated (negated == true) body atoms
+// (see Analysis.StratumInputs and Analysis.StratumNegInputs).
+func stratumInputs(strata [][]*Rule, negated bool) []map[string]bool {
 	out := make([]map[string]bool, len(strata))
 	for i, rules := range strata {
 		inputs := make(map[string]bool)
 		for _, r := range rules {
 			for _, lit := range r.Body {
-				if atom, ok := lit.(*Atom); ok && !atom.Negated {
+				if atom, ok := lit.(*Atom); ok && atom.Negated == negated {
 					inputs[atom.Predicate] = true
 				}
 			}

@@ -159,6 +159,39 @@ func TestAnalyzeStratumInputs(t *testing.T) {
 	}
 }
 
+// TestAnalyzeStratumNegInputs pins the negative twin of the dependency map:
+// per stratum, exactly the relations read by a negated body atom — the
+// relations whose changes force the retraction machinery to recompute the
+// stratum's affected heads — plus the per-head NegDependsOn index.
+func TestAnalyzeStratumNegInputs(t *testing.T) {
+	a := MustAnalyze(MustParse(incrementalProgram))
+	if len(a.StratumNegInputs) != len(a.Strata) {
+		t.Fatalf("StratumNegInputs has %d entries for %d strata", len(a.StratumNegInputs), len(a.Strata))
+	}
+	want := []map[string]bool{
+		{"edge": true}, // endpoint(N) :- node(N), !edge(N, _)
+		{"labeled": true, "reach": true, "source": true},
+		{"lonely": true},
+	}
+	for i, inputs := range a.StratumNegInputs {
+		if len(inputs) != len(want[i]) {
+			t.Errorf("StratumNegInputs[%d] = %v, want %v", i, inputs, want[i])
+			continue
+		}
+		for rel := range want[i] {
+			if !inputs[rel] {
+				t.Errorf("StratumNegInputs[%d] missing %q: %v", i, rel, inputs)
+			}
+		}
+	}
+	if deps := a.NegDependsOn["unlabeled"]; len(deps) != 1 || deps[0] != "labeled" {
+		t.Errorf("NegDependsOn[unlabeled] = %v, want [labeled]", deps)
+	}
+	if deps := a.NegDependsOn["labeled"]; len(deps) != 0 {
+		t.Errorf("NegDependsOn[labeled] = %v, want none", deps)
+	}
+}
+
 func TestMustAnalyzePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -67,12 +67,18 @@ type batchItem struct {
 type AnswerBatch struct {
 	engine *Engine
 
-	mu        sync.Mutex
-	next      int // staging attempts so far; indexes items and errors
-	items     []batchItem
-	errs      []BatchItemError
-	claimed   map[string]bool // request ids already answered by this batch
-	committed bool
+	mu    sync.Mutex
+	next  int // staging attempts so far; indexes items and errors
+	items []batchItem
+	errs  []BatchItemError
+	// commitErrs is the subset of errs recorded while the batch committed
+	// (requests closed between staging and commit). Kept separately so
+	// callers reporting commit outcomes do not have to guess which tail of
+	// Errors() is new — staging can race with the commit, making index
+	// arithmetic on Errors() unreliable.
+	commitErrs []BatchItemError
+	claimed    map[string]bool // request ids already answered by this batch
+	committed  bool
 }
 
 // NewAnswerBatch returns an empty batch staged against the engine.
@@ -110,7 +116,7 @@ func (b *AnswerBatch) stageAnswer(idx int, requestID string, openValues map[stri
 	defer e.mu.Unlock()
 	req, ok := e.pending[requestID]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownRequest, requestID)
+		return fmt.Errorf("%w: %s", e.missingRequestErrLocked(requestID), requestID)
 	}
 	tuple, err := e.requestTuple(req, openValues)
 	if err != nil {
@@ -170,6 +176,17 @@ func (b *AnswerBatch) Errors() []BatchItemError {
 	return append([]BatchItemError(nil), b.errs...)
 }
 
+// CommitErrors returns only the rejections recorded while the batch
+// committed — staged items whose request was closed (answered elsewhere or
+// withdrawn by retraction) between staging and commit. Staging-time failures
+// were already returned to the staging caller; this is the set a
+// round-driving loop still needs to report after RunIncremental.
+func (b *AnswerBatch) CommitErrors() []BatchItemError {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]BatchItemError(nil), b.commitErrs...)
+}
+
 // applyLocked commits the staged items: each tuple is inserted (newly added
 // ones become seed deltas for the incremental run), request items close their
 // request, and fact items sweep the pending set with the shared key matcher.
@@ -178,13 +195,15 @@ func (b *AnswerBatch) Errors() []BatchItemError {
 // the rest of the batch. Caller holds b.mu and e.mu.
 func (b *AnswerBatch) applyLocked() {
 	e := b.engine
+	commitErr := func(it batchItem, err error) {
+		be := BatchItemError{Index: it.index, Err: err}
+		b.errs = append(b.errs, be)
+		b.commitErrs = append(b.commitErrs, be)
+	}
 	for _, it := range b.items {
 		if it.requestID != "" {
 			if _, ok := e.pending[it.requestID]; !ok {
-				b.errs = append(b.errs, BatchItemError{
-					Index: it.index,
-					Err:   fmt.Errorf("%w: %s (answered before the batch committed)", ErrUnknownRequest, it.requestID),
-				})
+				commitErr(it, fmt.Errorf("%w: %s (closed before the batch committed)", e.missingRequestErrLocked(it.requestID), it.requestID))
 				continue
 			}
 		}
@@ -192,15 +211,14 @@ func (b *AnswerBatch) applyLocked() {
 		if err != nil {
 			// Unreachable for staged items (tuples are pre-coerced), kept as a
 			// per-item error so one surprise cannot poison the batch.
-			b.errs = append(b.errs, BatchItemError{Index: it.index, Err: err})
+			commitErr(it, err)
 			continue
 		}
 		if added {
 			e.stageDelta(it.relation, it.tuple)
 		}
 		if it.requestID != "" {
-			delete(e.pending, it.requestID)
-			e.answered[it.requestID] = true
+			e.closePendingLocked(it.requestID)
 		} else {
 			e.closeRequestsMatching(e.analysis.Program.DeclarationFor(it.relation), it.tuple)
 		}

@@ -123,6 +123,13 @@ func TestAnswerBatchCommitConflict(t *testing.T) {
 	if len(errs) != 1 || !errors.Is(errs[0].Err, ErrUnknownRequest) {
 		t.Fatalf("commit conflict errors = %v", errs)
 	}
+	// The conflict surfaced at commit time, so it must also appear in the
+	// commit-scoped view (and classify as a closed request, not an unknown
+	// id: the direct answer closed it).
+	cerrs := b.CommitErrors()
+	if len(cerrs) != 1 || !errors.Is(cerrs[0].Err, ErrRequestClosed) {
+		t.Fatalf("CommitErrors = %v", cerrs)
+	}
 	// The conflicting item was skipped (the direct answer stands), the other
 	// item applied.
 	texts := map[string]bool{}

@@ -225,6 +225,10 @@ func benchOracleLoop(b *testing.B, edges, wave int, incremental bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// The historical insert-only pipeline: negation staleness tolerated,
+		// the rejected stratum skipped per answered round. The retraction-on
+		// cost of the same loop is measured by BenchmarkOracleLoopRetraction.
+		e.SetRetraction(false)
 		e.SetParallelism(1)
 		e.SetIncrementalAnswering(incremental)
 		loadCrowdTC(e, edges)
@@ -255,4 +259,53 @@ func BenchmarkOracleLoop(b *testing.B) {
 	b.Run("incremental-1k", func(b *testing.B) { benchOracleLoop(b, 1000, 10, true) })
 	b.Run("full-10k", func(b *testing.B) { benchOracleLoop(b, 10000, 100, false) })
 	b.Run("incremental-10k", func(b *testing.B) { benchOracleLoop(b, 10000, 100, true) })
+}
+
+// benchOracleLoopRetraction is the oracle loop with deletion propagation
+// enabled (the default engine configuration): every answered round retracts
+// the freshly approved endpoints' rejected facts — the counting-based
+// recompute of the negation stratum — on top of the incremental seeding the
+// plain loop measures. The verification asserts the retraction actually
+// engages: rejected must end empty (with insert-only semantics every
+// endpoint would stay rejected forever) and RetractedTuples must equal the
+// approvals.
+func benchOracleLoopRetraction(b *testing.B, edges, wave int, incremental bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := NewEngine(MustParse(crowdTCProgram))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetParallelism(1)
+		e.SetIncrementalAnswering(incremental)
+		loadCrowdTC(e, edges)
+		b.StartTimer()
+		total, err := e.RunToFixpointWithOracle(waveOracle(wave), 1000)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(e.Facts("approved")); got != edges/10 {
+			b.Fatalf("approved = %d facts, want %d", got, edges/10)
+		}
+		if got := len(e.Facts("rejected")); got != 0 {
+			b.Fatalf("rejected = %d facts, want 0 after retraction", got)
+		}
+		if total.RetractedTuples != edges/10 {
+			b.Fatalf("RetractedTuples = %d, want %d", total.RetractedTuples, edges/10)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOracleLoopRetraction measures what retraction-correct negation
+// costs on the crowd loop, in both the incremental and the full-reference
+// configuration. Compare against the same sizes of BenchmarkOracleLoop (the
+// insert-only pipeline) for the price of correctness.
+func BenchmarkOracleLoopRetraction(b *testing.B) {
+	b.Run("full-1k", func(b *testing.B) { benchOracleLoopRetraction(b, 1000, 10, false) })
+	b.Run("incremental-1k", func(b *testing.B) { benchOracleLoopRetraction(b, 1000, 10, true) })
+	b.Run("incremental-10k", func(b *testing.B) { benchOracleLoopRetraction(b, 10000, 100, true) })
 }

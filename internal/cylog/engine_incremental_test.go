@@ -97,6 +97,10 @@ func driveIncrementalRounds(t *testing.T, cfg incrementalConfig, edges, nodes, p
 	if err != nil {
 		t.Fatal(err)
 	}
+	// This matrix pins the historical insert-only pipeline (PR 4): negation
+	// staleness is part of the reference behaviour here. The retraction-on
+	// matrix lives in engine_retraction_test.go.
+	e.SetRetraction(false)
 	e.SetColumnarBindings(cfg.columnar)
 	e.SetParallelism(cfg.parallelism)
 	e.SetIndexing(cfg.indexing)
@@ -209,6 +213,9 @@ func TestEngineIncrementalSkipsUntouchedStrata(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Insert-only reference semantics: with retraction on, the stratum
+		// negating labeled is recomputed rather than skipped.
+		e.SetRetraction(false)
 		e.SetIncrementalAnswering(incremental)
 		for n := 1; n <= 4; n++ {
 			e.AddFact("node", n)
@@ -312,6 +319,10 @@ func TestEngineIncrementalTracksAllIngestionPaths(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Insert-only reference semantics: the test below pins that node 3
+		// keeps endpoint status after edge(3,1) lands — exactly the staleness
+		// retraction removes.
+		e.SetRetraction(false)
 		e.SetIncrementalAnswering(incremental)
 		for n := 1; n <= 3; n++ {
 			e.AddFact("node", n)
@@ -421,6 +432,11 @@ func TestEngineIncrementalOracleLoopDoesLessWork(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Insert-only reference semantics: with retraction on, the rejected
+		// stratum is recomputed per answered round instead of skipped (its
+		// negated input approved grows), which is measured separately by
+		// BenchmarkOracleLoopRetraction and the retraction tests.
+		e.SetRetraction(false)
 		e.SetParallelism(1)
 		e.SetIncrementalAnswering(incremental)
 		loadCrowdTC(e, edges)

@@ -59,8 +59,14 @@ type Platform struct {
 	// and taskRequest the reverse, so results can be fed back into the engine.
 	requestTask map[string]task.ID
 	taskRequest map[task.ID]requestRef
-	events      []Event
-	nowFn       func() time.Time
+	// batches holds, per project, the answer batch the current task-pool
+	// round is staging into (created lazily by the first completed task of
+	// the round). GenerateTasksFromCyLog commits it through RunIncremental,
+	// so a round of crowd answers costs one delta-seeded fixpoint instead of
+	// a full re-run per answer.
+	batches map[project.ID]*cylog.AnswerBatch
+	events  []Event
+	nowFn   func() time.Time
 }
 
 type requestRef struct {
@@ -80,6 +86,7 @@ func New() *Platform {
 		engines:     make(map[project.ID]*cylog.Engine),
 		requestTask: make(map[string]task.ID),
 		taskRequest: make(map[task.ID]requestRef),
+		batches:     make(map[project.ID]*cylog.AnswerBatch),
 		nowFn:       time.Now,
 	}
 }
@@ -222,11 +229,15 @@ func (p *Platform) registerTask(projectID project.ID, t *task.Task) error {
 	return nil
 }
 
-// GenerateTasksFromCyLog runs the project's CyLog engine and converts every
-// pending open request into a task in the pool ("the rules describing tasks
-// and their dependency are interpreted and executed by the CyLog processor,
-// which dynamically generates and registers tasks into the task pool"). It
-// returns the newly generated tasks.
+// GenerateTasksFromCyLog commits the answer batch the last task-pool round
+// staged (if any), re-derives consequences through the engine's delta-seeded
+// incremental fixpoint, and converts every pending open request into a task
+// in the pool ("the rules describing tasks and their dependency are
+// interpreted and executed by the CyLog processor, which dynamically
+// generates and registers tasks into the task pool"). It returns the newly
+// generated tasks. Requests withdrawn by the engine's retraction machinery
+// simply stop appearing here; their already-generated tasks age out through
+// the normal deadline sweep.
 func (p *Platform) GenerateTasksFromCyLog(projectID project.ID) ([]*task.Task, error) {
 	admin, ok := p.Projects.Get(projectID)
 	if !ok {
@@ -236,18 +247,41 @@ func (p *Platform) GenerateTasksFromCyLog(projectID project.ID) ([]*task.Task, e
 	if eng == nil {
 		return nil, fmt.Errorf("platform: project %s has no CyLog description", projectID)
 	}
-	requests, err := eng.Run()
+	p.mu.Lock()
+	batch := p.batches[projectID]
+	delete(p.batches, projectID)
+	p.mu.Unlock()
+	requests, err := eng.RunIncremental(batch)
 	if err != nil {
 		return nil, err
+	}
+	if batch != nil {
+		// Staging-time rejections were reported by feedResultToCyLog as they
+		// happened; commit-time rejections (a request closed between staging
+		// and commit) are benign but kept in the audit log.
+		for _, be := range batch.CommitErrors() {
+			p.record(Event{Kind: "cylog-answer-skipped", Project: projectID, Message: be.Error()})
+		}
 	}
 	now := p.now()
 	var created []*task.Task
 	for _, req := range requests {
 		p.mu.Lock()
-		_, exists := p.requestTask[req.ID]
+		prior, exists := p.requestTask[req.ID]
 		p.mu.Unlock()
 		if exists {
-			continue
+			if tk, live := p.Tasks.Get(prior); live && !tk.State().Terminal() {
+				continue
+			}
+			// The request is pending but its task can no longer deliver an
+			// answer — expired, cancelled, or completed without closing the
+			// request (e.g. the request was withdrawn by retraction, its
+			// answer skipped, and the guard later returned and re-issued it).
+			// Drop the stale mapping and generate a fresh task.
+			p.mu.Lock()
+			delete(p.requestTask, req.ID)
+			delete(p.taskRequest, prior)
+			p.mu.Unlock()
 		}
 		scheme := task.CollaborationScheme(req.Scheme)
 		if scheme == "" {
@@ -436,7 +470,9 @@ func (p *Platform) ExecuteInProgress(io collab.WorkerIO) ([]*task.Task, error) {
 			p.Workers.RecordCompletion(m, skill, outcome.Quality()) //nolint:errcheck // unknown workers cannot be on a team
 		}
 		p.Workers.ClearTask(string(t.ID))
-		p.feedResultToCyLog(t, outcome.Result)
+		if err := p.feedResultToCyLog(t, outcome.Result); err != nil {
+			return completed, err
+		}
 		p.record(Event{Kind: "task-completed", Project: project.ID(t.ProjectID), Task: t.ID,
 			Message: fmt.Sprintf("quality %.2f by %s", outcome.Quality(), outcome.Result.TeamID)})
 		completed = append(completed, t)
@@ -444,28 +480,121 @@ func (p *Platform) ExecuteInProgress(io collab.WorkerIO) ([]*task.Task, error) {
 	return completed, nil
 }
 
-// feedResultToCyLog answers the open request that generated the task, if any.
-func (p *Platform) feedResultToCyLog(t *task.Task, result *task.Result) {
+// feedResultToCyLog stages the completed task's answer — for the open request
+// that generated it, if any — into the project's current answer batch. The
+// batch is created lazily per round and committed by the next
+// GenerateTasksFromCyLog through RunIncremental, so a whole round of crowd
+// answers is ingested as one delta-seeded fixpoint.
+//
+// Only requests that legitimately no longer accept an answer — already
+// answered through another path, withdrawn by retraction, or answered twice
+// within the round — are skipped (and recorded as "cylog-answer-skipped");
+// any other rejection (schema/type mismatch, missing open column, an id the
+// engine never issued) is a platform bug: it is recorded as
+// "cylog-answer-error" and returned to the caller instead of being silently
+// swallowed.
+func (p *Platform) feedResultToCyLog(t *task.Task, result *task.Result) error {
 	p.mu.Lock()
 	ref, ok := p.taskRequest[t.ID]
 	eng := p.engines[ref.project]
 	p.mu.Unlock()
 	if !ok || eng == nil || result == nil {
-		return
+		return nil
 	}
-	answer := make(map[string]any, len(ref.request.OpenColumns))
-	for _, col := range ref.request.OpenColumns {
+	answer := answerFields(ref.request, result)
+	for {
+		batch := p.roundBatch(ref.project, eng)
+		err := batch.Answer(ref.request.ID, answer)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, cylog.ErrBatchCommitted):
+			// The round committed between fetching the batch and staging into
+			// it (a concurrent GenerateTasksFromCyLog): retire the stale
+			// pointer and stage into the next round rather than dropping the
+			// worker's answer.
+			p.retireBatch(ref.project, batch)
+		case errors.Is(err, cylog.ErrRequestClosed), errors.Is(err, cylog.ErrDuplicateAnswer):
+			p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: t.ID, Message: err.Error()})
+			return nil
+		default:
+			p.record(Event{Kind: "cylog-answer-error", Project: ref.project, Task: t.ID, Message: err.Error()})
+			return fmt.Errorf("platform: feeding result of task %s to CyLog: %w", t.ID, err)
+		}
+	}
+}
+
+// roundBatch returns the project's current answer batch, opening a fresh
+// round when none is staging.
+func (p *Platform) roundBatch(id project.ID, eng *cylog.Engine) *cylog.AnswerBatch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.batches[id]
+	if b == nil {
+		b = eng.NewAnswerBatch()
+		p.batches[id] = b
+	}
+	return b
+}
+
+// retireBatch drops the project's batch pointer if it still names the given
+// (already committed) batch, so the next stage opens a fresh round.
+func (p *Platform) retireBatch(id project.ID, b *cylog.AnswerBatch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.batches[id] == b {
+		delete(p.batches, id)
+	}
+}
+
+// SubmitResult completes a task with a single out-of-band result (e.g. an
+// individual form submission) and, when the task was generated from a CyLog
+// open request, feeds the answer to the engine immediately through the
+// per-answer path — a lone submission does not open a batch round; the
+// staged fact seeds the next incremental run either way. Closed or withdrawn
+// requests are skipped like in the batched path; hard rejections fail the
+// submission after recording a "cylog-answer-error" event.
+func (p *Platform) SubmitResult(taskID task.ID, result *task.Result) error {
+	t, ok := p.Tasks.Get(taskID)
+	if !ok {
+		return fmt.Errorf("platform: unknown task %s", taskID)
+	}
+	if err := t.Complete(result); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	ref, mapped := p.taskRequest[taskID]
+	eng := p.engines[ref.project]
+	p.mu.Unlock()
+	p.record(Event{Kind: "task-completed", Project: project.ID(t.ProjectID), Task: taskID,
+		Message: "single submission by " + result.SubmittedBy})
+	if !mapped || eng == nil {
+		return nil
+	}
+	if err := eng.Answer(ref.request.ID, answerFields(ref.request, result)); err != nil {
+		if errors.Is(err, cylog.ErrRequestClosed) {
+			p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: taskID, Message: err.Error()})
+			return nil
+		}
+		p.record(Event{Kind: "cylog-answer-error", Project: ref.project, Task: taskID, Message: err.Error()})
+		return fmt.Errorf("platform: feeding result of task %s to CyLog: %w", taskID, err)
+	}
+	return nil
+}
+
+// answerFields maps a task result onto the open columns of the request that
+// generated the task, falling back to the generic "text" field and converting
+// yes/no style strings for boolean-looking columns.
+func answerFields(req cylog.OpenRequest, result *task.Result) map[string]any {
+	answer := make(map[string]any, len(req.OpenColumns))
+	for _, col := range req.OpenColumns {
 		raw, present := result.Fields[col]
 		if !present {
 			raw = result.Fields["text"]
 		}
 		answer[col] = convertAnswer(col, raw)
 	}
-	if err := eng.Answer(ref.request.ID, answer); err != nil {
-		// The request may already have been answered (e.g. AnswerFact); keep a
-		// trace but do not fail the completion.
-		p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: t.ID, Message: err.Error()})
-	}
+	return answer
 }
 
 // convertAnswer maps a form answer string onto a Go value suitable for the

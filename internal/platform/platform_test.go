@@ -400,6 +400,140 @@ func TestConvertAnswerAndForms(t *testing.T) {
 	}
 }
 
+// TestBatchedAnswerRound pins the batch-aware crowd loop: a round of
+// completed tasks stages its answers into one AnswerBatch (nothing reaches
+// the engine yet), and the next GenerateTasksFromCyLog commits the whole
+// round through one delta-seeded incremental fixpoint.
+func TestBatchedAnswerRound(t *testing.T) {
+	p, crowd := newPlatformWithCrowd(t, 20)
+	admin, err := p.RegisterProject(translationProject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := admin.Description.ID
+	if _, err := p.GenerateTasksFromCyLog(id); err != nil {
+		t.Fatal(err)
+	}
+	p.CollectInterest(crowd)
+	if teams := p.AssignOpenTasks(); len(teams) != 2 {
+		t.Fatalf("assigned %d teams", len(teams))
+	}
+	p.ConfirmTeams(crowd)
+	completed, err := p.ExecuteInProgress(crowd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 2 {
+		t.Fatalf("completed = %d tasks", len(completed))
+	}
+	eng := p.Engine(id)
+	// The answers are staged, not ingested: the engine sees them only when
+	// the next generation commits the round's batch.
+	if got := len(eng.Facts("translated")); got != 0 {
+		t.Fatalf("answers leaked into the engine before commit: translated = %d", got)
+	}
+	if got := len(eng.PendingRequests()); got != 2 {
+		t.Fatalf("pending before commit = %d, want the 2 translation requests", got)
+	}
+	created, err := p.GenerateTasksFromCyLog(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Facts("translated")); got != 2 {
+		t.Fatalf("translated after commit = %d, want 2", got)
+	}
+	if len(created) != 2 { // the two follow-up check tasks
+		t.Fatalf("follow-up tasks = %d, want 2", len(created))
+	}
+	if s := eng.Stats(); s.SeededDeltas != 2 {
+		t.Errorf("commit should seed the batch's 2 answers as deltas, stats = %+v", s)
+	}
+}
+
+// TestFeedResultErrorSurfaced pins the error contract of the answer feed:
+// benign rejections (request already closed) are skipped with an event, but
+// a type-mismatched answer — a platform bug — is surfaced to the caller and
+// the audit log instead of being swallowed as "skipped".
+func TestFeedResultErrorSurfaced(t *testing.T) {
+	p, _ := newPlatformWithCrowd(t, 10)
+	d := translationProject()
+	d.CyLogSource = `
+rel item(sid: int).
+open rel rating(sid: int, score: int) key(sid) asks "Rate this item".
+rel rated(sid: int, score: int).
+item(1).
+rated(S, R) :- item(S), rating(S, R).
+`
+	admin, err := p.RegisterProject(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, err := p.GenerateTasksFromCyLog(admin.Description.ID)
+	if err != nil || len(created) != 1 {
+		t.Fatalf("created = %v, err = %v", created, err)
+	}
+	tk := created[0]
+
+	// Hard failure: the int column rejects a non-numeric answer.
+	err = p.feedResultToCyLog(tk, &task.Result{Fields: map[string]string{"score": "not-a-number"}})
+	if err == nil {
+		t.Fatal("type-mismatched answer should surface an error")
+	}
+	kinds := map[string]int{}
+	for _, e := range p.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["cylog-answer-error"] != 1 {
+		t.Errorf("expected a cylog-answer-error event, got %v", kinds)
+	}
+
+	// Benign: the request was closed out of band; the feed skips and logs.
+	if err := p.Engine(admin.Description.ID).AnswerFact("rating", 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.feedResultToCyLog(tk, &task.Result{Fields: map[string]string{"score": "4"}}); err != nil {
+		t.Fatalf("closed request should be skipped, got %v", err)
+	}
+	kinds = map[string]int{}
+	for _, e := range p.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["cylog-answer-skipped"] != 1 {
+		t.Errorf("expected a cylog-answer-skipped event, got %v", kinds)
+	}
+}
+
+// TestSubmitResultSingle covers the per-answer path kept for lone
+// submissions: the result completes the task and reaches the engine
+// immediately, without opening a batch round.
+func TestSubmitResultSingle(t *testing.T) {
+	p, _ := newPlatformWithCrowd(t, 10)
+	admin, _ := p.RegisterProject(translationProject())
+	id := admin.Description.ID
+	created, err := p.GenerateTasksFromCyLog(id)
+	if err != nil || len(created) != 2 {
+		t.Fatalf("created = %v, err = %v", created, err)
+	}
+	if err := p.SubmitResult(created[0].ID, &task.Result{
+		SubmittedBy: "w1", Fields: map[string]string{"text": "Bonjour"}, Quality: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng := p.Engine(id)
+	if got := len(eng.Facts("translated")); got != 1 {
+		t.Fatalf("translated = %d, want 1 (per-answer path ingests immediately)", got)
+	}
+	if got := len(eng.PendingRequests()); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	if created[0].State() != task.StateCompleted {
+		t.Errorf("task state = %v", created[0].State())
+	}
+	if err := p.SubmitResult("nope", &task.Result{}); err == nil {
+		t.Error("unknown task should fail")
+	}
+}
+
 func TestControllerSuggestionVisibleThroughPlatform(t *testing.T) {
 	p, crowd := newPlatformWithCrowd(t, 15)
 	admin, _ := p.RegisterProject(translationProject())

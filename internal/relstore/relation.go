@@ -125,15 +125,32 @@ func (ix *index) setOverflow(h uint64, bucket []Tuple) {
 	ix.overflow[h] = bucket
 }
 
+// stored is one resident tuple plus its support record: whether the tuple
+// was asserted as a base fact (loaded data, external input, a crowd answer —
+// never removed by derivation maintenance) and how many rule derivations
+// currently support it (counted inserts through InsertDerived, decremented by
+// DecDerived, reset by ClearDerived). The struct is held by value in the
+// bucket maps, so support maintenance costs no allocation on the insert path.
+type stored struct {
+	t       Tuple
+	derived int32
+	base    bool
+}
+
 // Relation is a named, schema-typed set of tuples with optional hash indexes
 // on single columns or column combinations. All operations are safe for
 // concurrent use.
 //
 // Relations have set semantics: inserting a tuple equal to an existing one is
-// a no-op and Insert reports false.
+// a no-op and Insert reports false. Alongside set membership every tuple
+// carries a support record (see stored): Insert asserts base support,
+// InsertDerived counts derivation support, and the deletion-propagation APIs
+// (DecDerived, ClearDerived) remove tuples whose last support vanished — the
+// storage half of the CyLog engine's retraction machinery.
 //
-// Read-only view guarantee: as long as no Insert, Delete, DeleteWhere, Clear
-// or Restore runs, the tuple set observed by readers is stable — any number
+// Read-only view guarantee: as long as no Insert, InsertDerived, Delete,
+// DecDerived, DeleteWhere, Clear, ClearDerived or Restore runs, the tuple
+// set observed by readers is stable — any number
 // of goroutines may Scan, ScanEq/ScanEqAt, Select*, Project, All, Len and
 // Contains concurrently and all see the same contents. CreateIndex,
 // EnsureIndex and EnsureIndexAt are read-compatible: they change only access
@@ -153,9 +170,11 @@ type Relation struct {
 	// of per-tuple string materialisation — the dominant allocation of the
 	// seed layout on the CyLog merge path — and the first tuple of each
 	// bucket lives inline in rows (collisions spill to overflow), so the
-	// common insert allocates nothing beyond amortised map growth.
-	rows     map[uint64]Tuple
-	overflow map[uint64][]Tuple
+	// common insert allocates nothing beyond amortised map growth. Entries
+	// carry their support record by value (stored), so base/derived
+	// accounting rides the same buckets at zero extra allocation.
+	rows     map[uint64]stored
+	overflow map[uint64][]stored
 	count    int
 	indexes  map[string]*index // indexKey -> composite hash index
 	version  uint64
@@ -164,12 +183,12 @@ type Relation struct {
 // forEachLocked calls fn for every stored tuple until fn returns false.
 // Callers must hold at least the read lock.
 func (r *Relation) forEachLocked(fn func(Tuple) bool) {
-	for h, t := range r.rows {
-		if !fn(t) {
+	for h, s := range r.rows {
+		if !fn(s.t) {
 			return
 		}
-		for _, ot := range r.overflow[h] {
-			if !fn(ot) {
+		for _, os := range r.overflow[h] {
+			if !fn(os.t) {
 				return
 			}
 		}
@@ -181,8 +200,8 @@ func NewRelation(name string, schema *Schema) *Relation {
 	return &Relation{
 		name:     name,
 		schema:   schema,
-		rows:     make(map[uint64]Tuple),
-		overflow: make(map[uint64][]Tuple),
+		rows:     make(map[uint64]stored),
+		overflow: make(map[uint64][]stored),
 		indexes:  make(map[string]*index),
 	}
 }
@@ -357,10 +376,25 @@ func (r *Relation) IndexedColumns() [][]string {
 	return out
 }
 
-// Insert adds the tuple (coerced to the schema types). It returns true when
-// the tuple was new, false when an equal tuple was already present, and an
-// error when the tuple does not fit the schema.
+// Insert adds the tuple (coerced to the schema types) with base support. It
+// returns true when the tuple was new, false when an equal tuple was already
+// present (in which case the existing tuple gains base support), and an error
+// when the tuple does not fit the schema. Base-supported tuples are never
+// removed by DecDerived or ClearDerived — only Delete/DeleteWhere/Clear can.
 func (r *Relation) Insert(t Tuple) (bool, error) {
+	return r.insertSupported(t, true)
+}
+
+// InsertDerived adds the tuple with one unit of derivation support: a new
+// tuple is stored with derived count 1, an existing one has its count
+// incremented. It returns true when the tuple was physically new. This is the
+// counted insert the CyLog engine's merge step uses for rule-derived head
+// tuples when retraction is enabled.
+func (r *Relation) InsertDerived(t Tuple) (bool, error) {
+	return r.insertSupported(t, false)
+}
+
+func (r *Relation) insertSupported(t Tuple, base bool) (bool, error) {
 	ct, err := r.schema.Coerce(t)
 	if err != nil {
 		return false, err
@@ -368,18 +402,37 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	h := ct.Hash()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if ft, ok := r.rows[h]; ok {
-		if storedEqual(ft, ct) {
+	bump := func(s *stored) {
+		if base {
+			s.base = true
+		} else {
+			s.derived++
+		}
+	}
+	if fs, ok := r.rows[h]; ok {
+		if storedEqual(fs.t, ct) {
+			bump(&fs)
+			r.rows[h] = fs
 			return false, nil
 		}
-		for _, bt := range r.overflow[h] {
-			if storedEqual(bt, ct) {
+		bucket := r.overflow[h]
+		for i := range bucket {
+			if storedEqual(bucket[i].t, ct) {
+				bump(&bucket[i])
 				return false, nil
 			}
 		}
-		r.overflow[h] = append(r.overflow[h], ct)
+		ns := stored{t: ct, base: base}
+		if !base {
+			ns.derived = 1
+		}
+		r.overflow[h] = append(bucket, ns)
 	} else {
-		r.rows[h] = ct
+		ns := stored{t: ct, base: base}
+		if !base {
+			ns.derived = 1
+		}
+		r.rows[h] = ns
 	}
 	r.count++
 	for _, ix := range r.indexes {
@@ -414,24 +467,58 @@ func (r *Relation) InsertAll(tuples []Tuple) (int, error) {
 	return added, nil
 }
 
-// Delete removes the tuple equal to t. It returns true when a tuple was
-// removed.
+// Delete removes the tuple equal to t regardless of its support. It returns
+// true when a tuple was removed.
 func (r *Relation) Delete(t Tuple) (bool, error) {
 	ct, err := r.schema.Coerce(t)
 	if err != nil {
 		return false, err
 	}
-	h := ct.Hash()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ft, ok := r.rows[h]
-	if !ok {
-		return false, nil
+	return r.removeLocked(ct, nil), nil
+}
+
+// DecDerived removes one unit of derivation support from the tuple equal to
+// t. A tuple whose derivation support reaches zero and that carries no base
+// support is removed from the relation (and its indexes); it returns true
+// exactly in that case. Decrementing an absent tuple is a no-op. The CyLog
+// engine's stratum-granular retraction currently over-deletes with
+// ClearDerived and re-derives; DecDerived is the per-derivation primitive
+// for finer-grained (per-rule deletion variant) propagation.
+func (r *Relation) DecDerived(t Tuple) (bool, error) {
+	ct, err := r.schema.Coerce(t)
+	if err != nil {
+		return false, err
 	}
-	var stored Tuple
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.removeLocked(ct, func(s *stored) bool {
+		if s.derived > 0 {
+			s.derived--
+		}
+		return s.derived <= 0 && !s.base
+	}), nil
+}
+
+// removeLocked locates the stored entry equal to ct and removes it. When
+// decide is non-nil it is applied to the entry first; a false verdict keeps
+// the (mutated) entry in place and reports no removal. Caller holds the write
+// lock.
+func (r *Relation) removeLocked(ct Tuple, decide func(*stored) bool) bool {
+	h := ct.Hash()
+	fs, ok := r.rows[h]
+	if !ok {
+		return false
+	}
+	var victim Tuple
 	bucket := r.overflow[h]
-	if storedEqual(ft, ct) {
-		stored = ft
+	if storedEqual(fs.t, ct) {
+		if decide != nil && !decide(&fs) {
+			r.rows[h] = fs
+			return false
+		}
+		victim = fs.t
 		if len(bucket) > 0 {
 			r.rows[h] = bucket[0]
 			r.setOverflow(h, bucket[1:])
@@ -440,27 +527,136 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 		}
 	} else {
 		found := -1
-		for i, bt := range bucket {
-			if storedEqual(bt, ct) {
+		for i := range bucket {
+			if storedEqual(bucket[i].t, ct) {
 				found = i
 				break
 			}
 		}
 		if found < 0 {
-			return false, nil
+			return false
 		}
-		stored = bucket[found]
+		if decide != nil && !decide(&bucket[found]) {
+			return false
+		}
+		victim = bucket[found].t
 		r.setOverflow(h, append(bucket[:found], bucket[found+1:]...))
 	}
 	r.count--
 	for _, ix := range r.indexes {
-		ix.remove(stored)
+		ix.remove(victim)
 	}
 	r.version++
-	return true, nil
+	return true
 }
 
-func (r *Relation) setOverflow(h uint64, bucket []Tuple) {
+// ClearDerived removes every tuple with no base support and resets the
+// derivation counts of the survivors to zero, returning the number removed.
+// It is the over-deletion primitive of the CyLog engine's retraction phase:
+// a recomputed stratum clears its head relations down to their base facts and
+// re-derives the survivors with fresh counts. Indexes are rebuilt over the
+// survivors.
+func (r *Relation) ClearDerived() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := 0
+	rows := make(map[uint64]stored, len(r.rows))
+	overflow := make(map[uint64][]stored)
+	keep := func(h uint64, s stored) {
+		s.derived = 0
+		if _, ok := rows[h]; !ok {
+			rows[h] = s
+			return
+		}
+		overflow[h] = append(overflow[h], s)
+	}
+	for h, s := range r.rows {
+		if s.base {
+			keep(h, s)
+		} else {
+			removed++
+		}
+		for _, os := range r.overflow[h] {
+			if os.base {
+				keep(h, os)
+			} else {
+				removed++
+			}
+		}
+	}
+	if removed == 0 {
+		// Nothing left the relation; only counts were reset, which no reader
+		// can observe — keep the original buckets and version.
+		for h, s := range rows {
+			r.rows[h] = s
+		}
+		for h, b := range overflow {
+			r.overflow[h] = b
+		}
+		return 0
+	}
+	r.rows = rows
+	r.overflow = overflow
+	r.count -= removed
+	for _, ix := range r.indexes {
+		ix.first = make(map[uint64]Tuple)
+		ix.overflow = make(map[uint64][]Tuple)
+	}
+	r.forEachLocked(func(t Tuple) bool {
+		for _, ix := range r.indexes {
+			ix.insert(t)
+		}
+		return true
+	})
+	r.version++
+	return removed
+}
+
+// ScanSupport calls fn for every stored tuple together with its support
+// record until fn returns false. Iteration order is unspecified; fn must not
+// call back into the relation's mutating methods. It is the bulk accessor the
+// CyLog engine's retraction snapshots use — one pass instead of a per-tuple
+// Support probe.
+func (r *Relation) ScanSupport(fn func(t Tuple, base bool, derived int) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for h, s := range r.rows {
+		if !fn(s.t, s.base, int(s.derived)) {
+			return
+		}
+		for _, os := range r.overflow[h] {
+			if !fn(os.t, os.base, int(os.derived)) {
+				return
+			}
+		}
+	}
+}
+
+// Support reports the support record of the tuple equal to t: whether it
+// carries base support, its current derivation count, and whether it is
+// stored at all.
+func (r *Relation) Support(t Tuple) (base bool, derived int, ok bool) {
+	ct, err := r.schema.Coerce(t)
+	if err != nil {
+		return false, 0, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h := ct.Hash()
+	if fs, found := r.rows[h]; found {
+		if storedEqual(fs.t, ct) {
+			return fs.base, int(fs.derived), true
+		}
+		for _, os := range r.overflow[h] {
+			if storedEqual(os.t, ct) {
+				return os.base, int(os.derived), true
+			}
+		}
+	}
+	return false, 0, false
+}
+
+func (r *Relation) setOverflow(h uint64, bucket []stored) {
 	if len(bucket) == 0 {
 		delete(r.overflow, h)
 		return
@@ -490,12 +686,12 @@ func (r *Relation) Contains(t Tuple) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	h := ct.Hash()
-	if ft, ok := r.rows[h]; ok {
-		if storedEqual(ft, ct) {
+	if fs, ok := r.rows[h]; ok {
+		if storedEqual(fs.t, ct) {
 			return true
 		}
-		for _, bt := range r.overflow[h] {
-			if storedEqual(bt, ct) {
+		for _, os := range r.overflow[h] {
+			if storedEqual(os.t, ct) {
 				return true
 			}
 		}
@@ -724,8 +920,8 @@ func (r *Relation) Clear() {
 	if r.count == 0 {
 		return
 	}
-	r.rows = make(map[uint64]Tuple)
-	r.overflow = make(map[uint64][]Tuple)
+	r.rows = make(map[uint64]stored)
+	r.overflow = make(map[uint64][]stored)
 	r.count = 0
 	for _, ix := range r.indexes {
 		ix.first = make(map[uint64]Tuple)
@@ -735,27 +931,38 @@ func (r *Relation) Clear() {
 }
 
 // Clone returns a deep copy of the relation; the clone carries the same
-// indexed column sets, rebuilt over the copied tuples.
+// indexed column sets, rebuilt over the copied tuples, and preserves every
+// tuple's support record (base flag and derivation count).
 func (r *Relation) Clone() *Relation {
 	r.mu.RLock()
 	colSets := make([][]int, 0, len(r.indexes))
 	for _, ix := range r.indexes {
 		colSets = append(colSets, append([]int(nil), ix.cols...))
 	}
-	tuples := make([]Tuple, 0, r.count)
-	r.forEachLocked(func(t Tuple) bool {
-		tuples = append(tuples, t)
-		return true
-	})
+	entries := make([]stored, 0, r.count)
+	for h, s := range r.rows {
+		entries = append(entries, s)
+		entries = append(entries, r.overflow[h]...)
+	}
 	r.mu.RUnlock()
 
 	c := NewRelation(r.name, r.schema)
 	for _, cols := range colSets {
 		c.indexes[indexKey(cols)] = newIndex(cols)
 	}
-	for _, t := range tuples {
-		c.Insert(t) //nolint:errcheck // tuples came from a schema-validated relation
+	for _, s := range entries {
+		h := s.t.Hash()
+		if _, ok := c.rows[h]; ok {
+			c.overflow[h] = append(c.overflow[h], s)
+		} else {
+			c.rows[h] = s
+		}
+		c.count++
+		for _, ix := range c.indexes {
+			ix.insert(s.t)
+		}
 	}
+	c.version = 0
 	return c
 }
 

@@ -637,3 +637,132 @@ func TestRelationNaNSetSemantics(t *testing.T) {
 		t.Errorf("Len after delete = %d", r.Len())
 	}
 }
+
+// TestSupportCounting covers the support-record half of the storage layer:
+// base inserts vs counted derivation inserts, decrement-to-removal, and the
+// invariant that base-supported tuples survive every derivation-maintenance
+// API.
+func TestSupportCounting(t *testing.T) {
+	r := NewRelation("fact", MustSchema("id:int"))
+	if err := r.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A derived tuple counts its supports and dies with the last one.
+	if added, err := r.InsertDerived(NewTuple(1)); err != nil || !added {
+		t.Fatalf("first derivation: added=%v err=%v", added, err)
+	}
+	if added, _ := r.InsertDerived(NewTuple(1)); added {
+		t.Error("second derivation of the same tuple should not re-add it")
+	}
+	if base, derived, ok := r.Support(NewTuple(1)); base || derived != 2 || !ok {
+		t.Fatalf("Support = (%v, %d, %v), want (false, 2, true)", base, derived, ok)
+	}
+	if removed, _ := r.DecDerived(NewTuple(1)); removed {
+		t.Error("one remaining support should keep the tuple")
+	}
+	if removed, _ := r.DecDerived(NewTuple(1)); !removed {
+		t.Error("last support gone: tuple should be removed")
+	}
+	if r.Contains(NewTuple(1)) || r.Len() != 0 {
+		t.Fatalf("tuple should be gone, len=%d", r.Len())
+	}
+	if got := r.SelectEq("id", NewTuple(1)[0]); len(got) != 0 {
+		t.Errorf("index still answers for removed tuple: %v", got)
+	}
+	// Decrementing an absent tuple is a no-op.
+	if removed, err := r.DecDerived(NewTuple(42)); removed || err != nil {
+		t.Errorf("DecDerived(absent) = (%v, %v)", removed, err)
+	}
+
+	// Base support shields a tuple from derivation maintenance.
+	r.MustInsert(2)
+	if added, _ := r.InsertDerived(NewTuple(2)); added {
+		t.Error("derivation over an existing base tuple should not re-add")
+	}
+	if base, derived, ok := r.Support(NewTuple(2)); !base || derived != 1 || !ok {
+		t.Fatalf("Support = (%v, %d, %v), want (true, 1, true)", base, derived, ok)
+	}
+	if removed, _ := r.DecDerived(NewTuple(2)); removed {
+		t.Error("base tuple must survive losing its derivations")
+	}
+	if !r.Contains(NewTuple(2)) {
+		t.Error("base tuple vanished")
+	}
+	// Insert over an existing derived tuple promotes it to base.
+	r.InsertDerived(NewTuple(3)) //nolint:errcheck
+	if added, err := r.Insert(NewTuple(3)); err != nil || added {
+		t.Fatalf("base assert over derived tuple: added=%v err=%v", added, err)
+	}
+	if removed, _ := r.DecDerived(NewTuple(3)); removed {
+		t.Error("promoted tuple must survive losing its derivation")
+	}
+	if err := func() error { _, err := r.InsertDerived(NewTuple("nope")); return err }(); err == nil {
+		t.Error("schema mismatch should error")
+	}
+}
+
+// TestClearDerived pins the over-deletion primitive: every derived-only tuple
+// goes, base tuples stay with their counts reset, and indexes answer for
+// exactly the survivors.
+func TestClearDerived(t *testing.T) {
+	r := NewRelation("fact", MustSchema("id:int"))
+	if err := r.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(1)
+	r.InsertDerived(NewTuple(1)) //nolint:errcheck // base + one derivation
+	for i := 2; i <= 40; i++ {
+		r.InsertDerived(NewTuple(i)) //nolint:errcheck
+	}
+	v := r.Version()
+	if removed := r.ClearDerived(); removed != 39 {
+		t.Fatalf("ClearDerived removed %d, want 39", removed)
+	}
+	if r.Len() != 1 || !r.Contains(NewTuple(1)) {
+		t.Fatalf("survivors = %v", r.All())
+	}
+	if base, derived, ok := r.Support(NewTuple(1)); !base || derived != 0 || !ok {
+		t.Errorf("survivor support = (%v, %d, %v), want (true, 0, true)", base, derived, ok)
+	}
+	if r.Version() == v {
+		t.Error("removal should bump the version")
+	}
+	if got := r.SelectEq("id", NewTuple(7)[0]); len(got) != 0 {
+		t.Errorf("index still answers for cleared tuple: %v", got)
+	}
+	if got := r.SelectEq("id", NewTuple(1)[0]); len(got) != 1 {
+		t.Errorf("index lost the surviving tuple: %v", got)
+	}
+	// A second clear finds nothing to remove and must not disturb contents or
+	// version.
+	v = r.Version()
+	if removed := r.ClearDerived(); removed != 0 {
+		t.Errorf("second ClearDerived removed %d", removed)
+	}
+	if r.Version() != v || r.Len() != 1 {
+		t.Error("no-op clear must leave version and contents alone")
+	}
+}
+
+// TestCloneCarriesSupport checks Clone preserves base flags and derivation
+// counts, so a cloned database retracts exactly like the original.
+func TestCloneCarriesSupport(t *testing.T) {
+	r := NewRelation("fact", MustSchema("id:int"))
+	r.MustInsert(1)
+	r.InsertDerived(NewTuple(2)) //nolint:errcheck
+	r.InsertDerived(NewTuple(2)) //nolint:errcheck
+	c := r.Clone()
+	if base, derived, ok := c.Support(NewTuple(1)); !base || derived != 0 || !ok {
+		t.Errorf("clone support(1) = (%v, %d, %v)", base, derived, ok)
+	}
+	if base, derived, ok := c.Support(NewTuple(2)); base || derived != 2 || !ok {
+		t.Errorf("clone support(2) = (%v, %d, %v)", base, derived, ok)
+	}
+	if removed := c.ClearDerived(); removed != 1 {
+		t.Errorf("clone ClearDerived removed %d, want 1", removed)
+	}
+	if r.Len() != 2 {
+		t.Error("clearing the clone must not touch the original")
+	}
+}
