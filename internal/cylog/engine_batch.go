@@ -216,6 +216,11 @@ func (b *AnswerBatch) applyLocked() {
 		}
 		if added {
 			e.stageDelta(it.relation, it.tuple)
+			if it.requestID != "" {
+				e.journalOp(OpAnswer, it.requestID, it.relation, it.tuple)
+			} else {
+				e.journalOp(OpAnswerFact, "", it.relation, it.tuple)
+			}
 		}
 		if it.requestID != "" {
 			e.closePendingLocked(it.requestID)

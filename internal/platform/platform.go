@@ -65,8 +65,11 @@ type Platform struct {
 	// so a round of crowd answers costs one delta-seeded fixpoint instead of
 	// a full re-run per answer.
 	batches map[project.ID]*cylog.AnswerBatch
-	events  []Event
-	nowFn   func() time.Time
+	// wals holds each project's attached write-ahead log (nil map until the
+	// first AttachWAL); see platform_wal.go for the commit protocol.
+	wals   map[project.ID]*walBinding
+	events []Event
+	nowFn  func() time.Time
 }
 
 type requestRef struct {
@@ -262,6 +265,12 @@ func (p *Platform) GenerateTasksFromCyLog(projectID project.ID) ([]*task.Task, e
 		for _, be := range batch.CommitErrors() {
 			p.record(Event{Kind: "cylog-answer-skipped", Project: projectID, Message: be.Error()})
 		}
+	}
+	// Durability barrier: the round's ingested answers reach the WAL before
+	// any task derived from them is generated — a crash after this line
+	// re-derives the same state; a crash before it re-asks the round.
+	if err := p.persistRound(projectID, eng); err != nil {
+		return nil, err
 	}
 	now := p.now()
 	var created []*task.Task
@@ -579,7 +588,8 @@ func (p *Platform) SubmitResult(taskID task.ID, result *task.Result) error {
 		p.record(Event{Kind: "cylog-answer-error", Project: ref.project, Task: taskID, Message: err.Error()})
 		return fmt.Errorf("platform: feeding result of task %s to CyLog: %w", taskID, err)
 	}
-	return nil
+	// A lone submission is its own commit point: persist before acking.
+	return p.persistRound(ref.project, eng)
 }
 
 // answerFields maps a task result onto the open columns of the request that

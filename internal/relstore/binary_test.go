@@ -1,0 +1,265 @@
+package relstore
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValueBinaryRoundTrip(t *testing.T) {
+	values := []Value{
+		Null(),
+		Int(0), Int(42), Int(-7), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(3.25), Float(-1e300), Float(math.Inf(1)),
+		String(""), String("hello"), String(strings.Repeat("x", 1000)), String("uni\x00code\xff"),
+		Bool(true), Bool(false),
+	}
+	var buf []byte
+	for _, v := range values {
+		buf = AppendValueBinary(buf, v)
+	}
+	off := 0
+	for i, want := range values {
+		got, n, err := DecodeValueBinary(buf[off:])
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got.Type() != want.Type() || !got.Equal(want) {
+			t.Fatalf("value %d: got %v want %v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestValueBinaryNaN(t *testing.T) {
+	buf := AppendValueBinary(nil, Float(math.NaN()))
+	got, _, err := DecodeValueBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := got.AsFloat(); !math.IsNaN(f) {
+		t.Fatalf("got %v, want NaN", got)
+	}
+}
+
+func TestValueBinaryErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            nil,
+		"unknown type":     {99},
+		"truncated float":  {byte(TypeFloat), 1, 2, 3},
+		"truncated string": append([]byte{byte(TypeString)}, 200, 1),
+		"truncated bool":   {byte(TypeBool)},
+		"bad varint":       append([]byte{byte(TypeInt)}, bytes.Repeat([]byte{0x80}, 11)...),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeValueBinary(data); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestTupleBinaryRoundTrip(t *testing.T) {
+	want := NewTuple(int64(1), "two", 3.5, true, nil)
+	buf := AppendTupleBinary(nil, want)
+	got, n, err := DecodeTupleBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || !got.Equal(want) {
+		t.Fatalf("got %v (%d bytes), want %v (%d bytes)", got, n, want, len(buf))
+	}
+	if _, _, err := DecodeTupleBinary([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("absurd arity: want error")
+	}
+}
+
+func TestRelationBinaryRoundTrip(t *testing.T) {
+	d := NewDatabase()
+	r := d.MustCreate("people", MustSchema("id:int", "name:string", "score:float", "ok:bool"))
+	r.MustInsert(1, "ada", 9.5, true)
+	r.MustInsert(2, "bob", 7.25, false)
+	r.MustInsert(3, "eve", 0.0, true)
+
+	var buf bytes.Buffer
+	if err := ExportBinary(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDatabase()
+	got, err := ImportBinary(d2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "people" || !got.Schema().Equal(r.Schema()) {
+		t.Fatalf("restored %s %s, want people %s", got.Name(), got.Schema(), r.Schema())
+	}
+	wantAll, gotAll := r.All(), got.All()
+	if len(gotAll) != len(wantAll) {
+		t.Fatalf("restored %d tuples, want %d", len(gotAll), len(wantAll))
+	}
+	for i := range wantAll {
+		if !gotAll[i].Equal(wantAll[i]) {
+			t.Fatalf("tuple %d: got %v want %v", i, gotAll[i], wantAll[i])
+		}
+	}
+}
+
+func TestRelationBinaryDeterministic(t *testing.T) {
+	// Equal contents inserted in different orders must export byte-identically
+	// (the WAL diffs snapshot bytes in tests and dedupes on content).
+	build := func(order []int) *Relation {
+		r := NewRelation("t", MustSchema("a:int", "b:string"))
+		for _, i := range order {
+			r.MustInsert(i, "v")
+		}
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := ExportBinary(build([]int{1, 2, 3, 4}), &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportBinary(build([]int{4, 3, 2, 1}), &b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("exports of equal contents differ")
+	}
+}
+
+func TestRelationBinarySupportRoundTrip(t *testing.T) {
+	d := NewDatabase()
+	r := d.MustCreate("facts", MustSchema("x:int"))
+	r.MustInsert(1) // base only
+	if _, err := r.InsertDerived(NewTuple(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.InsertDerived(NewTuple(2)); err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(3) // base + derived
+	if _, err := r.InsertDerived(NewTuple(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ExportBinary(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDatabase()
+	got, err := ImportBinary(d2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		x       int
+		base    bool
+		derived int
+	}{{1, true, 0}, {2, false, 2}, {3, true, 1}} {
+		base, derived, ok := got.Support(NewTuple(tc.x))
+		if !ok || base != tc.base || derived != tc.derived {
+			t.Fatalf("Support(%d) = (%v,%d,%v), want (%v,%d,true)", tc.x, base, derived, ok, tc.base, tc.derived)
+		}
+	}
+	// ClearDerived must behave exactly like on the original: only the
+	// derived-only tuple leaves.
+	if removed := got.ClearDerived(); removed != 1 {
+		t.Fatalf("ClearDerived removed %d, want 1", removed)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("after ClearDerived len = %d, want 2", got.Len())
+	}
+}
+
+func TestDatabaseBinaryRoundTrip(t *testing.T) {
+	d := NewDatabase()
+	a := d.MustCreate("alpha", MustSchema("x:int"))
+	b := d.MustCreate("beta", MustSchema("s:string", "f:float"))
+	a.MustInsert(1)
+	a.MustInsert(2)
+	b.MustInsert("one", 1.0)
+
+	var buf bytes.Buffer
+	if err := ExportDatabaseBinary(d, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDatabase()
+	names, err := ImportDatabaseBinary(d2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("imported %v, want [alpha beta]", names)
+	}
+	if d2.Relation("alpha").Len() != 2 || d2.Relation("beta").Len() != 1 {
+		t.Fatalf("restored sizes %d/%d, want 2/1", d2.Relation("alpha").Len(), d2.Relation("beta").Len())
+	}
+}
+
+func TestDatabaseBinarySubsetAndMissing(t *testing.T) {
+	d := NewDatabase()
+	d.MustCreate("keep", MustSchema("x:int")).MustInsert(1)
+	d.MustCreate("skip", MustSchema("x:int")).MustInsert(2)
+
+	var buf bytes.Buffer
+	if err := ExportDatabaseBinary(d, []string{"keep"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDatabase()
+	names, err := ImportDatabaseBinary(d2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "keep" || d2.Has("skip") {
+		t.Fatalf("imported %v (skip present: %v), want only keep", names, d2.Has("skip"))
+	}
+	if err := ExportDatabaseBinary(d, []string{"absent"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("exporting a missing relation: want error")
+	}
+}
+
+func TestDatabaseBinaryImportErrors(t *testing.T) {
+	d := NewDatabase()
+	d.MustCreate("r", MustSchema("x:int")).MustInsert(1)
+	var buf bytes.Buffer
+	if err := ExportDatabaseBinary(d, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		data := append([]byte("XXXX"), full[4:]...)
+		if _, err := ImportDatabaseBinary(NewDatabase(), bytes.NewReader(data)); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{3, 5, len(full) - 1} {
+			if _, err := ImportDatabaseBinary(NewDatabase(), bytes.NewReader(full[:cut])); err == nil {
+				t.Fatalf("truncation at %d: want error", cut)
+			}
+		}
+	})
+	t.Run("schema conflict", func(t *testing.T) {
+		d2 := NewDatabase()
+		d2.MustCreate("r", MustSchema("x:string"))
+		if _, err := ImportDatabaseBinary(d2, bytes.NewReader(full)); err == nil {
+			t.Fatal("want schema-conflict error")
+		}
+	})
+	t.Run("unknown column type", func(t *testing.T) {
+		// Single-relation payload with a corrupt column type byte.
+		var rbuf bytes.Buffer
+		if err := ExportBinary(d.Relation("r"), &rbuf); err != nil {
+			t.Fatal(err)
+		}
+		data := rbuf.Bytes()
+		// Layout: len("r")=1, 'r', arity=1, len("x")=1, 'x', typeByte.
+		data[5] = 99
+		if _, err := ImportBinary(NewDatabase(), bytes.NewReader(data)); err == nil {
+			t.Fatal("want unknown-type error")
+		}
+	})
+}

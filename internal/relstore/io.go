@@ -51,14 +51,25 @@ func ImportCSV(r *Relation, rd io.Reader, header bool) (int, error) {
 		}
 		if first && header {
 			first = false
+			// The header must name every schema column exactly once: a short
+			// header would leave part of the identity order in place (some
+			// columns silently filled from the wrong field, others never
+			// filled), and a duplicate would overwrite one column twice while
+			// leaving another empty.
+			if len(rec) != r.Schema().Arity() {
+				return added, fmt.Errorf("relstore: CSV header has %d columns, schema %s expects %d", len(rec), r.Schema(), r.Schema().Arity())
+			}
+			seen := make(map[int]bool, len(rec))
 			for i, name := range rec {
-				if i < len(order) {
-					ci := r.Schema().ColumnIndex(name)
-					if ci < 0 {
-						return added, fmt.Errorf("relstore: CSV header column %q not in schema %s", name, r.Schema())
-					}
-					order[i] = ci
+				ci := r.Schema().ColumnIndex(name)
+				if ci < 0 {
+					return added, fmt.Errorf("relstore: CSV header column %q not in schema %s", name, r.Schema())
 				}
+				if seen[ci] {
+					return added, fmt.Errorf("relstore: CSV header names column %q twice", name)
+				}
+				seen[ci] = true
+				order[i] = ci
 			}
 			continue
 		}

@@ -1,0 +1,584 @@
+// Package wal provides a durable answer log for the CyLog engine: an
+// append-only, checksummed, length-prefixed write-ahead log whose unit of
+// durability is the committed ingestion operation (request answers, whole-fact
+// answers, AddFact seeds — the engine's FactOp journal), plus periodic binary
+// relation snapshots. Recovery loads the newest valid snapshot and replays the
+// log suffix through the engine's incremental fixpoint machinery; the engine's
+// differential guarantees (replay equals from-scratch) make the recovered
+// state byte-identical to an uninterrupted run.
+//
+// The log tolerates torn tails: a partially written or corrupted final record
+// is detected by its CRC32 (or truncated framing) and dropped at Open, and
+// every record before it recovers. Snapshots are written to a temporary file
+// and renamed into place, so a crash mid-snapshot never damages the previous
+// one.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/crowd4u/crowd4u-go/internal/cylog"
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append — maximum durability, one disk
+	// flush per crowd round.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on the first append after Options.Interval has
+	// elapsed since the previous sync (piggybacked on appends; no timer
+	// goroutine). A crash loses at most the last interval's answers — which
+	// recovery re-asks, so nothing is silently wrong, only re-done.
+	SyncInterval
+	// SyncOff never fsyncs. The OS page cache still survives kill -9 (only a
+	// kernel crash or power loss loses it); this is the benchmark baseline
+	// and the right setting for simulations.
+	SyncOff
+)
+
+// String names the policy for logs and stats.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the minimum time between fsyncs under SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// WriteObserver, when set, is called immediately before every physical
+	// file write with a label and the byte count about to be written. The
+	// crash-replay harness uses it to kill the process between the length
+	// header and the payload of a record — the exact window that produces a
+	// torn tail under kill -9.
+	WriteObserver func(kind string, bytes int)
+}
+
+const (
+	logMagic      = "C4W1"
+	snapMagic     = "C4S1"
+	logName       = "wal.log"
+	snapPrefix    = "snap-"
+	snapSuffix    = ".bin"
+	recBatch      = 0x01
+	maxRecordSize = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Stats describes a log's activity since Open.
+type Stats struct {
+	Dir              string
+	Policy           SyncPolicy
+	Appends          int    // records appended
+	AppendedOps      int    // operations inside appended records
+	AppendedBytes    int64  // bytes written to the log (headers + payloads)
+	Syncs            int    // fsyncs issued
+	Snapshots        int    // snapshots written
+	LastSeq          uint64 // sequence of the newest log record
+	SnapshotSeq      uint64 // sequence covered by the newest on-disk snapshot
+	TornBytesDropped int64  // trailing bytes discarded at Open
+}
+
+// Log is an append-only write-ahead log plus its snapshot directory. Methods
+// are not safe for concurrent use; the platform serializes round commits.
+type Log struct {
+	dir      string
+	opts     Options
+	f        *os.File
+	lastSeq  uint64
+	snapSeq  uint64 // newest on-disk snapshot's sequence (0 = none)
+	lastSync time.Time
+	stats    Stats
+}
+
+// Open opens (creating if needed) the write-ahead log in dir. Existing log
+// contents are scanned; a torn or corrupted tail — truncated framing or a CRC
+// mismatch — is discarded along with everything after it, and the file is
+// truncated to the last valid record. Leftover temporary snapshot files from
+// an interrupted Snapshot are removed.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, f: f, lastSync: time.Now()}
+	l.stats.Dir = dir
+	l.stats.Policy = opts.Policy
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if snaps, err := l.snapshotSeqs(); err == nil && len(snaps) > 0 {
+		l.snapSeq = snaps[len(snaps)-1]
+		l.stats.SnapshotSeq = l.snapSeq
+		// A snapshot can outrun the log tail (records truncated as obsolete,
+		// or a torn tail dropped). New appends must still sequence above the
+		// snapshot, or recovery would consider them covered and skip them.
+		if l.snapSeq > l.lastSeq {
+			l.lastSeq = l.snapSeq
+			l.stats.LastSeq = l.lastSeq
+		}
+	}
+	// Sweep temp files from snapshots interrupted before their rename.
+	if tmps, err := filepath.Glob(filepath.Join(dir, snapPrefix+"*.tmp")); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	return l, nil
+}
+
+// scan validates the existing log contents, truncating at the first torn or
+// corrupt record, and positions the write offset at the end.
+func (l *Log) scan() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		if err := l.writeAll("log-magic", []byte(logMagic)); err != nil {
+			return err
+		}
+		return l.f.Sync()
+	}
+	if len(data) < len(logMagic) {
+		// A file torn inside the magic was never appended to: start over.
+		l.stats.TornBytesDropped += int64(len(data))
+		if err := l.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		if err := l.writeAll("log-magic", []byte(logMagic)); err != nil {
+			return err
+		}
+		return l.f.Sync()
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return fmt.Errorf("wal: %s is not a wal log (bad magic)", filepath.Join(l.dir, logName))
+	}
+	off := len(logMagic)
+	valid := off
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < 8 {
+			break // torn header
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > maxRecordSize || int(length) > len(rest)-8 {
+			break // torn or insane payload
+		}
+		payload := rest[8 : 8+int(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // corrupt record: drop it and everything after
+		}
+		seq, _, err := parseRecord(payload)
+		if err != nil {
+			break
+		}
+		l.lastSeq = seq
+		off += 8 + int(length)
+		valid = off
+	}
+	if valid < len(data) {
+		l.stats.TornBytesDropped += int64(len(data) - valid)
+		if err := l.f.Truncate(int64(valid)); err != nil {
+			return err
+		}
+	}
+	_, err = l.f.Seek(int64(valid), io.SeekStart)
+	l.stats.LastSeq = l.lastSeq
+	return err
+}
+
+// Append serializes the operations as one record and writes it to the log,
+// returning the record's sequence number. An empty batch writes nothing. The
+// record is written as two physical writes — framing header, then payload —
+// so a crash between them leaves exactly the torn tail Open tolerates. The
+// fsync policy decides whether the record is flushed before returning.
+func (l *Log) Append(ops []cylog.FactOp) (uint64, error) {
+	if len(ops) == 0 {
+		return l.lastSeq, nil
+	}
+	seq := l.lastSeq + 1
+	payload := []byte{recBatch}
+	payload = binary.AppendUvarint(payload, seq)
+	payload = binary.AppendUvarint(payload, uint64(len(ops)))
+	for _, op := range ops {
+		payload = appendOp(payload, op)
+	}
+	if len(payload) > maxRecordSize {
+		return l.lastSeq, fmt.Errorf("wal: record of %d bytes exceeds maximum", len(payload))
+	}
+	header := make([]byte, 8)
+	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
+	if err := l.writeAll("append-header", header); err != nil {
+		return l.lastSeq, err
+	}
+	if err := l.writeAll("append-payload", payload); err != nil {
+		return l.lastSeq, err
+	}
+	l.lastSeq = seq
+	l.stats.Appends++
+	l.stats.AppendedOps += len(ops)
+	l.stats.AppendedBytes += int64(len(header) + len(payload))
+	l.stats.LastSeq = seq
+	return seq, l.maybeSync()
+}
+
+func (l *Log) maybeSync() error {
+	switch l.opts.Policy {
+	case SyncAlways:
+		l.stats.Syncs++
+		return l.f.Sync()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.Interval {
+			l.lastSync = time.Now()
+			l.stats.Syncs++
+			return l.f.Sync()
+		}
+	}
+	return nil
+}
+
+func (l *Log) writeAll(kind string, b []byte) error {
+	if l.opts.WriteObserver != nil {
+		l.opts.WriteObserver(kind, len(b))
+	}
+	_, err := l.f.Write(b)
+	return err
+}
+
+// Snapshot writes a binary snapshot of the engine's ingested state — every
+// non-derived relation (EDB plus open relations); IDB relations are a pure
+// function of those and re-derive on recovery — covering all log records up
+// to the current sequence. The snapshot is written to a temporary file and
+// renamed into place, so an interrupted snapshot never replaces a valid one.
+// It returns the sequence the snapshot covers.
+func (l *Log) Snapshot(e *cylog.Engine) (uint64, error) {
+	names := make([]string, 0)
+	for _, name := range e.Database().Names() {
+		if !e.Analysis().IDB[name] {
+			names = append(names, name)
+		}
+	}
+	seq := l.lastSeq
+	var buf []byte
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, seq)
+	var body bytes.Buffer
+	if err := relstore.ExportDatabaseBinary(e.Database(), names, &body); err != nil {
+		return 0, err
+	}
+	buf = append(buf, body.Bytes()...)
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(buf, crcTable))
+	buf = append(buf, trailer[:]...)
+
+	final := filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix))
+	tmp := final + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.WriteObserver != nil {
+		l.opts.WriteObserver("snapshot", len(buf))
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if l.opts.Policy != SyncOff {
+		if err := tf.Sync(); err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return 0, err
+		}
+		l.stats.Syncs++
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if l.opts.WriteObserver != nil {
+		l.opts.WriteObserver("snapshot-rename", 0)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	l.snapSeq = seq
+	l.stats.Snapshots++
+	l.stats.SnapshotSeq = seq
+	return seq, nil
+}
+
+// TruncateObsolete drops state the newest snapshot makes redundant: snapshot
+// files older than the newest, and log records whose sequence the snapshot
+// covers. The log is rewritten through a temporary file and renamed into
+// place. Sequence numbers keep increasing across truncations.
+func (l *Log) TruncateObsolete() error {
+	seqs, err := l.snapshotSeqs()
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	newest := seqs[len(seqs)-1]
+	for _, s := range seqs[:len(seqs)-1] {
+		os.Remove(filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", snapPrefix, s, snapSuffix)))
+	}
+	// Keep only records the snapshot does not cover.
+	records, err := l.readRecords()
+	if err != nil {
+		return err
+	}
+	var keep []record
+	for _, r := range records {
+		if r.seq > newest {
+			keep = append(keep, r)
+		}
+	}
+	if len(keep) == len(records) {
+		return nil
+	}
+	tmpPath := filepath.Join(l.dir, logName+".tmp")
+	tf, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	out := []byte(logMagic)
+	for _, r := range keep {
+		out = append(out, r.raw...)
+	}
+	if _, err := tf.Write(out); err != nil {
+		tf.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	logPath := filepath.Join(l.dir, logName)
+	if err := os.Rename(tmpPath, logPath); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Reopen the handle on the renamed file and seek to its end.
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(logPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	return nil
+}
+
+// Stats returns a copy of the log's activity counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if l.opts.Policy != SyncOff {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	return l.f.Close()
+}
+
+// record is one parsed log record plus its raw on-disk bytes (header
+// included), so truncation can re-emit records without re-serializing.
+type record struct {
+	seq uint64
+	ops []cylog.FactOp
+	raw []byte
+}
+
+// readRecords parses every valid record currently in the log file, leaving
+// the write offset at the end.
+func (l *Log) readRecords() ([]record, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return nil, err
+	}
+	var out []record
+	off := len(logMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		if int(length) > len(data)-off-8 {
+			break
+		}
+		payload := data[off+8 : off+8+int(length)]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			break
+		}
+		seq, ops, err := parseRecord(payload)
+		if err != nil {
+			break
+		}
+		out = append(out, record{seq: seq, ops: ops, raw: data[off : off+8+int(length)]})
+		off += 8 + int(length)
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// snapshotSeqs lists the sequences of on-disk snapshot files, ascending.
+func (l *Log) snapshotSeqs() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), "%d", &seq); err != nil {
+			continue
+		}
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// parseRecord decodes a record payload into its sequence and operations.
+func parseRecord(payload []byte) (uint64, []cylog.FactOp, error) {
+	if len(payload) == 0 || payload[0] != recBatch {
+		return 0, nil, fmt.Errorf("wal: unknown record type")
+	}
+	rest := payload[1:]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: bad record sequence")
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("wal: bad record op count")
+	}
+	rest = rest[n:]
+	ops := make([]cylog.FactOp, 0, count)
+	for i := uint64(0); i < count; i++ {
+		op, m, err := decodeOp(rest)
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: record op %d: %w", i, err)
+		}
+		ops = append(ops, op)
+		rest = rest[m:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("wal: %d trailing bytes in record", len(rest))
+	}
+	return seq, ops, nil
+}
+
+// appendOp serializes one FactOp: kind byte, request id, relation name, then
+// the self-describing tuple encoding shared with the snapshot codec.
+func appendOp(buf []byte, op cylog.FactOp) []byte {
+	buf = append(buf, byte(op.Kind))
+	buf = binary.AppendUvarint(buf, uint64(len(op.RequestID)))
+	buf = append(buf, op.RequestID...)
+	buf = binary.AppendUvarint(buf, uint64(len(op.Relation)))
+	buf = append(buf, op.Relation...)
+	return relstore.AppendTupleBinary(buf, op.Tuple)
+}
+
+func decodeOp(data []byte) (cylog.FactOp, int, error) {
+	var op cylog.FactOp
+	if len(data) == 0 {
+		return op, 0, fmt.Errorf("truncated op")
+	}
+	op.Kind = cylog.OpKind(data[0])
+	off := 1
+	s, n, err := decodeString(data[off:])
+	if err != nil {
+		return op, 0, fmt.Errorf("request id: %w", err)
+	}
+	op.RequestID = s
+	off += n
+	s, n, err = decodeString(data[off:])
+	if err != nil {
+		return op, 0, fmt.Errorf("relation: %w", err)
+	}
+	op.Relation = s
+	off += n
+	t, n, err := relstore.DecodeTupleBinary(data[off:])
+	if err != nil {
+		return op, 0, err
+	}
+	op.Tuple = t
+	off += n
+	return op, off, nil
+}
+
+func decodeString(data []byte) (string, int, error) {
+	length, n := binary.Uvarint(data)
+	if n <= 0 || length > uint64(len(data)-n) {
+		return "", 0, fmt.Errorf("truncated string")
+	}
+	return string(data[n : n+int(length)]), n + int(length), nil
+}
