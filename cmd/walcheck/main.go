@@ -69,6 +69,11 @@ type scenario struct {
 	edges     int
 	policy    wal.SyncPolicy
 	snapEvery int
+	// shards, when > 0, runs the engine hash-partitioned across that many
+	// evaluation shards. Recovery must replay into the same fixpoint
+	// regardless of the shard count — sharding is evaluation-side only and
+	// never touches the log format.
+	shards int
 	// killAt, when > 0, SIGKILLs the process immediately before the killAt-th
 	// physical WAL write.
 	killAt int
@@ -118,6 +123,9 @@ func (s scenario) run() (string, int, error) {
 		return "", 0, err
 	}
 	eng := p.Engine(id)
+	if s.shards > 0 {
+		eng.SetShards(s.shards)
+	}
 
 	// Seed the edge chains. Inserts already recovered from the log
 	// deduplicate silently, so re-seeding after a crash is a no-op.
@@ -213,13 +221,14 @@ func main() {
 		iterations = flag.Int("iterations", 5, "randomized kill points to test")
 		policyFlag = flag.Int("policy", 0, "fsync policy (child mode): 0=always 1=interval 2=off")
 		snapEvery  = flag.Int("snapshot-every", 0, "snapshot cadence in appended records (child mode)")
+		shards     = flag.Int("shards", 0, "engine shard count (0 = cycle 1,2,4 across iterations)")
 		killAt     = flag.Int("kill-write", 0, "self-kill before this WAL write (child mode)")
 	)
 	flag.Parse()
 
 	if *child {
 		s := scenario{dir: *dir, seed: *seed, edges: *edges,
-			policy: wal.SyncPolicy(*policyFlag), snapEvery: *snapEvery, killAt: *killAt}
+			policy: wal.SyncPolicy(*policyFlag), snapEvery: *snapEvery, shards: *shards, killAt: *killAt}
 		digest, writes, err := s.run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "walcheck child:", err)
@@ -229,15 +238,17 @@ func main() {
 		return
 	}
 
-	if err := drive(*seed, *edges, *iterations); err != nil {
+	if err := drive(*seed, *edges, *iterations, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "walcheck: FAIL:", err)
 		os.Exit(1)
 	}
 }
 
 // drive runs the parent protocol: reference digest, then per-iteration
-// randomized child crash + in-process recovery + differential.
-func drive(seed int64, edges, iterations int) error {
+// randomized child crash + in-process recovery + differential. shards pins
+// the engine shard count for every run; 0 cycles 1, 2, 4 across iterations so
+// the default CI invocation covers recovery into sharded fixpoints too.
+func drive(seed int64, edges, iterations, shards int) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -252,12 +263,16 @@ func drive(seed int64, edges, iterations int) error {
 	for iter := 0; iter < iterations; iter++ {
 		policy := wal.SyncPolicy(rng.Intn(3))
 		snapEvery := rng.Intn(4) // 0 disables snapshots
+		iterShards := shards
+		if iterShards == 0 {
+			iterShards = []int{1, 2, 4}[iter%3]
+		}
 		iterDir := fmt.Sprintf("%s/iter%d", root, iter)
 
 		// Reference: the uninterrupted run under this iteration's exact
 		// configuration. Its write count bounds the kill offset; its digest
 		// is what every crashed-and-recovered run must reproduce.
-		ref := scenario{dir: iterDir + "-ref", seed: seed, edges: edges, policy: policy, snapEvery: snapEvery}
+		ref := scenario{dir: iterDir + "-ref", seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards}
 		refDigest, refWrites, err := ref.run()
 		if err != nil {
 			return fmt.Errorf("iteration %d reference: %w", iter, err)
@@ -272,6 +287,7 @@ func drive(seed int64, edges, iterations int) error {
 			"-child", "-dir", crashDir,
 			"-seed", fmt.Sprint(seed), "-edges", fmt.Sprint(edges),
 			"-policy", fmt.Sprint(int(policy)), "-snapshot-every", fmt.Sprint(snapEvery),
+			"-shards", fmt.Sprint(iterShards),
 			"-kill-write", fmt.Sprint(kill))
 		cmd.Stderr = os.Stderr
 		err = cmd.Run()
@@ -284,18 +300,18 @@ func drive(seed int64, edges, iterations int) error {
 
 		// Recover in this process from whatever the kill left behind and
 		// resume the identical scenario to quiescence.
-		resume := scenario{dir: crashDir, seed: seed, edges: edges, policy: policy, snapEvery: snapEvery}
+		resume := scenario{dir: crashDir, seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards}
 		gotDigest, _, err := resume.run()
 		if err != nil {
 			return fmt.Errorf("iteration %d: recovery after kill at write %d/%d (policy=%s snapshot-every=%d): %w",
 				iter, kill, refWrites, policy, snapEvery, err)
 		}
 		if gotDigest != refDigest {
-			return fmt.Errorf("iteration %d: recovered digest %s != reference %s (seed=%d kill=%d/%d policy=%s snapshot-every=%d)",
-				iter, gotDigest[:12], refDigest[:12], seed, kill, refWrites, policy, snapEvery)
+			return fmt.Errorf("iteration %d: recovered digest %s != reference %s (seed=%d kill=%d/%d policy=%s snapshot-every=%d shards=%d)",
+				iter, gotDigest[:12], refDigest[:12], seed, kill, refWrites, policy, snapEvery, iterShards)
 		}
-		fmt.Printf("walcheck: iteration %d ok — killed at write %d/%d, policy=%s, snapshot-every=%d, digest %s\n",
-			iter, kill, refWrites, policy, snapEvery, refDigest[:12])
+		fmt.Printf("walcheck: iteration %d ok — killed at write %d/%d, policy=%s, snapshot-every=%d, shards=%d, digest %s\n",
+			iter, kill, refWrites, policy, snapEvery, iterShards, refDigest[:12])
 	}
 	fmt.Printf("walcheck: PASS — %d randomized kill points recovered byte-identically (seed=%d, rerun with -seed to reproduce)\n",
 		iterations, seed)

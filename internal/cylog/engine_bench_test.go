@@ -309,3 +309,57 @@ func BenchmarkOracleLoopRetraction(b *testing.B) {
 	b.Run("incremental-1k", func(b *testing.B) { benchOracleLoopRetraction(b, 1000, 10, true) })
 	b.Run("incremental-10k", func(b *testing.B) { benchOracleLoopRetraction(b, 10000, 100, true) })
 }
+
+// benchOracleLoopSharded is the oracle loop under hash-partitioned
+// evaluation: the same incremental, insert-only crowd rounds as
+// BenchmarkOracleLoop/incremental, fanned across `shards` engine shards with
+// frontier exchange at round barriers. shards=1 stays on the unsharded path
+// (the differential reference), so the shards1 entries measure the dispatch
+// overhead of the toggle itself — they should track the plain incremental
+// numbers — while shards2/4 measure partitioned evaluation, which needs a
+// multi-core host to turn into wall-clock speedup.
+func benchOracleLoopSharded(b *testing.B, edges, wave, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := NewEngine(MustParse(crowdTCProgram))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetRetraction(false)
+		e.SetParallelism(1)
+		e.SetIncrementalAnswering(true)
+		e.SetShards(shards)
+		loadCrowdTC(e, edges)
+		b.StartTimer()
+		total, err := e.RunToFixpointWithOracle(waveOracle(wave), 1000)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(e.Facts("approved")); got != edges/10 {
+			b.Fatalf("approved = %d facts, want %d", got, edges/10)
+		}
+		routed := total.ShardLocalTuples + total.ShardExchanges
+		if shards > 1 && routed == 0 {
+			b.Fatal("sharded loop routed no frontier tuples")
+		}
+		if shards == 1 && routed != 0 {
+			b.Fatalf("unsharded loop reported shard traffic: %+v", total)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOracleLoopSharded measures hash-partitioned fixpoints on the crowd
+// loop at 1k and 10k scale, shards 1/2/4. BENCH_cylog.json records the
+// baselines; the ns/op comparison only gates on hosts with enough cores (see
+// the benchcheck block's wallclock_min_cores).
+func BenchmarkOracleLoopSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards%d-1k", shards), func(b *testing.B) { benchOracleLoopSharded(b, 1000, 10, shards) })
+		b.Run(fmt.Sprintf("shards%d-10k", shards), func(b *testing.B) { benchOracleLoopSharded(b, 10000, 100, shards) })
+	}
+}

@@ -438,6 +438,10 @@ func TestEngineIncrementalOracleLoopDoesLessWork(t *testing.T) {
 		// BenchmarkOracleLoopRetraction and the retraction tests.
 		e.SetRetraction(false)
 		e.SetParallelism(1)
+		// Pin shards=1: rule-evaluation counts are path-internal (the sharded
+		// evaluator builds per-shard variants), and this test compares
+		// evaluation work, not fixpoints.
+		e.SetShards(1)
 		e.SetIncrementalAnswering(incremental)
 		loadCrowdTC(e, edges)
 		// Round 1 (the initial full evaluation, identical on both paths) is

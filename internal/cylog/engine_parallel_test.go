@@ -95,6 +95,10 @@ reach(X, Z) :- reach(X, Y), edge(Y, Z).
 			t.Fatal(err)
 		}
 		e.SetParallelism(parallelism)
+		// Pin shards=1: this test asserts parallel-path internals
+		// (ParallelTasks from contiguous variant splits), which the sharded
+		// evaluator replaces wholesale under a CYLOG_SHARDS>1 run.
+		e.SetShards(1)
 		// 200 disjoint chains of length 10: deltas stay in the thousands for
 		// several iterations, well above minShardTuples.
 		for i := 0; i < 2000; i++ {

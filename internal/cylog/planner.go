@@ -109,6 +109,27 @@ func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
 	return steps
 }
 
+// planShardAtom returns the body index of the atom an unrestricted
+// evaluation pass of r can be partitioned on — the literal this planner
+// would schedule first, when it is a closed positive atom answered by an
+// unbound full scan — or -1 when the pass must stay whole (leading barrier,
+// open atom, or a probe-answerable first atom, whose restriction would trade
+// an index lookup for partition scans). Both partitioned evaluators lean on
+// this: the parallel path splits the atom's relation into contiguous shards,
+// the sharded path into hash partitions. Restricting the returned atom via
+// the delta mechanism reproduces the unrestricted plan exactly, since a
+// restricted atom always leads its run.
+func planShardAtom(r *Rule, cat planCatalog) int {
+	steps := planRule(r, -1, cat)
+	if len(steps) == 0 {
+		return -1
+	}
+	if a, ok := steps[0].lit.(*Atom); ok && !a.Negated && !cat.isOpen(a.Predicate) && len(steps[0].probeCols) == 0 {
+		return steps[0].bodyIndex
+	}
+	return -1
+}
+
 // identityPlan returns the body in source order with no probe columns — the
 // seed scan-evaluation path, used when indexing is disabled and as the
 // reference side of differential tests.

@@ -1,0 +1,50 @@
+package relstore
+
+// Shard-stable hash partitioning.
+//
+// The sharded fixpoint evaluator (internal/cylog) splits delta frontiers and
+// leading full scans across N engine shards by tuple hash. The partitioning
+// lives here because it must be a property of the *storage* representation:
+// Tuple.Hash is the inline FNV-1a digest of the tuple's coerced values, so a
+// tuple's shard never depends on insertion order, index state, or which
+// process computed it — the precondition for moving shards out of process
+// later without re-partitioning disagreements. Every tuple lands on exactly
+// one shard, and partitioning a relation loses nothing: reassembling the
+// buckets (in any order) reproduces the relation's contents exactly, which
+// the property tests in partition_test.go pin.
+
+// ShardOf returns the shard owning t in an n-way hash partitioning:
+// Tuple.Hash() mod shards. Shard counts below 2 collapse to the single shard
+// 0. The assignment is stable across processes and relations — it depends
+// only on the tuple's values.
+func ShardOf(t Tuple, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(t.Hash() % uint64(shards))
+}
+
+// PartitionTuples splits ts into `shards` buckets by ShardOf, preserving the
+// input order within each bucket. Every tuple lands in exactly one bucket,
+// so concatenating the buckets is a permutation of ts. For shards <= 1 the
+// single returned bucket shares ts's backing array (no copy).
+func PartitionTuples(ts []Tuple, shards int) [][]Tuple {
+	if shards <= 1 {
+		return [][]Tuple{ts}
+	}
+	out := make([][]Tuple, shards)
+	for _, t := range ts {
+		s := ShardOf(t, shards)
+		out[s] = append(out[s], t)
+	}
+	return out
+}
+
+// Partition splits the relation's current contents into `shards` hash
+// buckets (sorted within each bucket, since they derive from All). It is a
+// read-only snapshot: repartitioning with a different shard count, or
+// reinserting the buckets into a fresh relation, round-trips the contents
+// losslessly.
+func (r *Relation) Partition(shards int) [][]Tuple {
+	return PartitionTuples(r.All(), shards)
+}
