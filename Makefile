@@ -27,7 +27,14 @@ COVER_FLOOR_WAL      ?= 85
 BENCHOUT     ?= bench.out
 COVERPROFILE ?= cover.out
 
-.PHONY: build test test-sequential test-sharded lint vet fmt staticcheck bench benchcheck cover crashcheck linkcheck ci
+# Service-layer load gate (`make loadcheck`): cmd/loadsim drives the HTTP
+# path closed-loop and its throughput + p99 answer→fixpoint latency are
+# gated against BENCH_platform.json. The parameters are pinned so runs are
+# comparable to the recorded baselines.
+LOADSIM_ARGS      ?= -items 400 -workers 32 -commit-interval 10ms -queue 1024 -seed 1
+PLATFORM_BENCHOUT ?= platform_bench.out
+
+.PHONY: build test test-sequential test-sharded lint vet fmt staticcheck bench benchcheck loadcheck cover crashcheck linkcheck ci
 
 build:
 	$(GO) build $(PKGS)
@@ -39,7 +46,7 @@ test:
 # side of the parallel differential tests); CI runs both this and `test`.
 # Scoped to the packages that construct engines — only they read
 # CYLOG_PARALLELISM, so re-running the rest would duplicate `test` verbatim.
-ENGINEPKGS := ./internal/cylog/ ./internal/platform/ ./internal/crowdsim/
+ENGINEPKGS := ./internal/cylog/ ./internal/platform/ ./internal/crowdsim/ ./internal/api/
 
 test-sequential:
 	CYLOG_PARALLELISM=1 $(GO) test -race $(ENGINEPKGS)
@@ -77,10 +84,18 @@ bench:
 
 # Benchmark-regression gate: runs the bench smoke and compares ns/op and
 # allocs/op against BENCH_cylog.json (tolerances and the wall-clock core
-# floor live in that file's `benchcheck` block; see README.md).
-benchcheck:
+# floor live in that file's `benchcheck` block; see README.md), then runs
+# the service-layer load gate against BENCH_platform.json.
+benchcheck: loadcheck
 	$(GO) test -run '^$$' -bench=. -benchtime=$(BENCHTIME) $(BENCHPKGS) > $(BENCHOUT)
 	$(GO) run ./cmd/benchcheck -baseline BENCH_cylog.json -input $(BENCHOUT)
+
+# Closed-loop HTTP load gate: seconds, not minutes — the harness self-hosts
+# the service on loopback and answers every seeded item once (EXPERIMENTS.md
+# §7 describes the workload and metrics).
+loadcheck:
+	$(GO) run ./cmd/loadsim $(LOADSIM_ARGS) > $(PLATFORM_BENCHOUT)
+	$(GO) run ./cmd/benchcheck -baseline BENCH_platform.json -input $(PLATFORM_BENCHOUT)
 
 # Coverage gate for the engine packages, enforced against the floors above.
 cover:
@@ -98,8 +113,8 @@ cover:
 crashcheck:
 	$(GO) run ./cmd/walcheck -iterations $(CRASH_ITERS) -seed $(CRASH_SEED)
 
-# Validates relative links (files and heading anchors) in README.md and
-# docs/; no network access.
+# Validates relative links (files and heading anchors) in README.md,
+# EXPERIMENTS.md and docs/; no network access.
 linkcheck:
 	$(GO) test -run TestMarkdownLinks -count=1 ./internal/docs/
 

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"sync"
+
+	"github.com/crowd4u/crowd4u-go/internal/platform"
+	"github.com/crowd4u/crowd4u-go/internal/project"
+)
+
+func eventMessage(e platform.Event) EventMessage {
+	return EventMessage{
+		At:      e.At,
+		Kind:    e.Kind,
+		Project: string(e.Project),
+		Task:    string(e.Task),
+		Round:   e.Round,
+		Message: e.Message,
+	}
+}
+
+// subscriberBuffer bounds each WebSocket subscriber's pending-event queue.
+// A subscriber that falls further behind than this loses events (drops are
+// counted, never blocked on): the event stream is a change notification
+// channel, not a durable log — the durable log is Platform.Events and the
+// WAL. Round-based latency resolution tolerates gaps because any later
+// "fixpoint" event resolves all earlier rounds.
+const subscriberBuffer = 256
+
+// hub fans platform events out to WebSocket subscribers. The platform's
+// event sink runs synchronously on whichever goroutine commits a round, so
+// publish must never block: each subscriber gets a bounded buffered channel
+// and overflow drops the event for that subscriber only.
+type hub struct {
+	mu      sync.Mutex
+	nextID  int
+	subs    map[int]*hubSub
+	dropped uint64 // cumulative events dropped across all subscribers
+}
+
+type hubSub struct {
+	project project.ID // empty = all projects
+	ch      chan EventMessage
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[int]*hubSub)}
+}
+
+// publish delivers the event to every subscriber whose project filter
+// matches, dropping (and counting) for subscribers with full buffers.
+func (h *hub) publish(e platform.Event) {
+	msg := eventMessage(e)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		if s.project != "" && s.project != e.Project {
+			continue
+		}
+		select {
+		case s.ch <- msg:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// subscribe registers a subscriber for the given project ("" = all) and
+// returns its channel plus a cancel function. Cancel closes the channel, so
+// readers can range over it.
+func (h *hub) subscribe(p project.ID) (<-chan EventMessage, func()) {
+	s := &hubSub{project: p, ch: make(chan EventMessage, subscriberBuffer)}
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = s
+	h.mu.Unlock()
+	return s.ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// droppedEvents reports how many events were dropped on full subscriber
+// buffers since the hub was created.
+func (h *hub) droppedEvents() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// subscribers reports the current subscriber count.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// EventStream is a client-side subscription to a server's WebSocket event
+// stream. It is the consuming half of the protocol served by
+// GET /api/v1/events and GET /api/v1/projects/{id}/events; crowdsim's
+// service client and cmd/loadsim use it to observe "fixpoint" events and
+// resolve answer→fixpoint latency by round number.
+type EventStream struct {
+	conn *Conn
+}
+
+// DialEvents connects to the event stream of baseURL (an http:// or ws://
+// server root). With a non-empty projectID it subscribes to that project's
+// events only; with "" it subscribes to the whole platform.
+func DialEvents(baseURL, projectID string) (*EventStream, error) {
+	root := strings.TrimRight(baseURL, "/")
+	endpoint := root + "/api/v1/events"
+	if projectID != "" {
+		endpoint = root + "/api/v1/projects/" + url.PathEscape(projectID) + "/events"
+	}
+	conn, err := dialWebSocket(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &EventStream{conn: conn}, nil
+}
+
+// Next blocks for the next event. It returns an error once the server
+// closes the stream or the connection drops.
+func (s *EventStream) Next() (EventMessage, error) {
+	payload, err := s.conn.ReadText()
+	if err != nil {
+		return EventMessage{}, err
+	}
+	var msg EventMessage
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return EventMessage{}, fmt.Errorf("api: malformed event message: %w", err)
+	}
+	return msg, nil
+}
+
+// Close closes the subscription.
+func (s *EventStream) Close() error { return s.conn.Close() }

@@ -1,0 +1,289 @@
+// Minimal RFC 6455 WebSocket support — server-side upgrade plus a client
+// dialer — implemented on the standard library only (the repo takes no
+// third-party dependencies). It covers exactly what the event stream needs:
+// unfragmented text frames, ping/pong, and clean close handshakes. It is not
+// a general-purpose WebSocket stack: continuation frames and extensions are
+// rejected, and both ends are expected to be this package's own peer (the
+// crowdsim service client and cmd/loadsim) or a spec-conforming browser.
+package wire
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket frame opcodes (RFC 6455 §5.2).
+const (
+	opText  = 0x1
+	opClose = 0x8
+	opPing  = 0x9
+	opPong  = 0xA
+)
+
+// maxFramePayload bounds incoming frames; event messages are small, so
+// anything larger is a protocol violation, not a big message.
+const maxFramePayload = 1 << 20
+
+// ErrClosed reports an orderly close handshake from the peer.
+var ErrClosed = errors.New("api: websocket closed by peer")
+
+// wsAccept computes the Sec-WebSocket-Accept token for a client key.
+func wsAccept(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Conn is one WebSocket connection. Writes are serialized internally;
+// reads must come from a single goroutine.
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	wmu    sync.Mutex
+	client bool // clients mask outgoing frames (RFC 6455 §5.3)
+}
+
+// UpgradeWebSocket performs the server side of the opening handshake and
+// hijacks the HTTP connection. On failure it writes the error response
+// itself and returns nil.
+func UpgradeWebSocket(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!headerContainsToken(r.Header, "Upgrade", "websocket") {
+		return nil, fmt.Errorf("api: not a websocket upgrade request")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		return nil, fmt.Errorf("api: unsupported websocket version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, errors.New("api: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, errors.New("api: response writer does not support hijacking")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, err
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAccept(key) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Conn{conn: conn, br: brw.Reader}, nil
+}
+
+// headerContainsToken reports whether a comma-separated header field
+// contains the token (case-insensitively) — "Connection: keep-alive, Upgrade"
+// must match "upgrade".
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dialWebSocket performs the client side of the opening handshake against an
+// http:// or ws:// URL.
+func dialWebSocket(rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("api: unsupported websocket scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	keyBytes := make([]byte, 16)
+	if _, err := rand.Read(keyBytes); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes)
+	path := u.RequestURI()
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: "GET"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("api: websocket handshake rejected: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != wsAccept(key) {
+		conn.Close()
+		return nil, errors.New("api: websocket handshake accept mismatch")
+	}
+	return &Conn{conn: conn, br: br, client: true}, nil
+}
+
+// WriteText sends one unfragmented text frame.
+func (c *Conn) WriteText(payload []byte) error {
+	return c.writeFrame(opText, payload)
+}
+
+// writeFrame emits a single FIN frame, masking when this end is a client.
+func (c *Conn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	header := make([]byte, 0, 14)
+	header = append(header, 0x80|opcode)
+	maskBit := byte(0)
+	if c.client {
+		maskBit = 0x80
+	}
+	switch n := len(payload); {
+	case n < 126:
+		header = append(header, maskBit|byte(n))
+	case n <= 0xFFFF:
+		header = append(header, maskBit|126, byte(n>>8), byte(n))
+	default:
+		header = append(header, maskBit|127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		header = append(header, ext[:]...)
+	}
+	if c.client {
+		var maskKey [4]byte
+		if _, err := rand.Read(maskKey[:]); err != nil {
+			return err
+		}
+		header = append(header, maskKey[:]...)
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ maskKey[i%4]
+		}
+		payload = masked
+	}
+	if _, err := c.conn.Write(header); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// ReadText reads the next text message, transparently answering pings and
+// completing close handshakes (a close returns ErrClosed).
+func (c *Conn) ReadText() ([]byte, error) {
+	for {
+		opcode, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch opcode {
+		case opText:
+			return payload, nil
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// Unsolicited pong: ignore.
+		case opClose:
+			c.writeFrame(opClose, payload)
+			c.conn.Close()
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("api: unsupported websocket opcode %#x (fragmentation and binary frames are not used by this protocol)", opcode)
+		}
+	}
+}
+
+// readFrame reads one frame, rejecting fragmentation and unmasking when the
+// peer masked.
+func (c *Conn) readFrame() (byte, []byte, error) {
+	var h [2]byte
+	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+		return 0, nil, err
+	}
+	if h[0]&0x80 == 0 {
+		return 0, nil, errors.New("api: fragmented websocket frames are not supported")
+	}
+	opcode := h[0] & 0x0F
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxFramePayload {
+		return 0, nil, fmt.Errorf("api: websocket frame of %d bytes exceeds limit", length)
+	}
+	var maskKey [4]byte
+	if masked {
+		if _, err := io.ReadFull(c.br, maskKey[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= maskKey[i%4]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// Close sends a close frame (best effort) and closes the connection.
+func (c *Conn) Close() error {
+	c.writeFrame(opClose, nil)
+	return c.conn.Close()
+}

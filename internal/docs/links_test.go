@@ -70,14 +70,15 @@ func anchorsOf(t *testing.T, path string) map[string]bool {
 	return out
 }
 
-// TestMarkdownLinks verifies every relative link in README.md and docs/*.md:
-// the target file must exist in the repository, and a #fragment must name a
-// heading anchor in the target (or current) file. External http(s)/mailto
-// links are skipped — CI must not depend on the network.
+// TestMarkdownLinks verifies every relative link in README.md,
+// EXPERIMENTS.md and docs/*.md: the target file must exist in the
+// repository, and a #fragment must name a heading anchor in the target (or
+// current) file. External http(s)/mailto links are skipped — CI must not
+// depend on the network.
 func TestMarkdownLinks(t *testing.T) {
 	root := repoRoot(t)
 	var files []string
-	files = append(files, filepath.Join(root, "README.md"))
+	files = append(files, filepath.Join(root, "README.md"), filepath.Join(root, "EXPERIMENTS.md"))
 	docGlob, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
 	if err != nil {
 		t.Fatal(err)

@@ -37,12 +37,16 @@ type AcceptanceModel interface {
 	WillUndertake(id worker.ID, taskID task.ID) bool
 }
 
-// Event is one platform-level occurrence kept in the audit log.
+// Event is one platform-level occurrence kept in the audit log and pushed to
+// every Subscribe sink (the API layer streams them over WebSocket).
 type Event struct {
 	At      time.Time
-	Kind    string // "project-registered", "task-generated", "task-assigned", "task-completed", "infeasible", "reassigned"
+	Kind    string // "project-registered", "task-generated", "task-assigned", "task-completed", "infeasible", "reassigned", "fixpoint", "wal-*", "cylog-answer-*"
 	Project project.ID
 	Task    task.ID
+	// Round is the answer-round sequence number for round-scoped events
+	// ("fixpoint", "cylog-answer-skipped"); zero otherwise.
+	Round   uint64
 	Message string
 }
 
@@ -59,17 +63,24 @@ type Platform struct {
 	// and taskRequest the reverse, so results can be fed back into the engine.
 	requestTask map[string]task.ID
 	taskRequest map[task.ID]requestRef
-	// batches holds, per project, the answer batch the current task-pool
-	// round is staging into (created lazily by the first completed task of
-	// the round). GenerateTasksFromCyLog commits it through RunIncremental,
-	// so a round of crowd answers costs one delta-seeded fixpoint instead of
-	// a full re-run per answer.
-	batches map[project.ID]*cylog.AnswerBatch
+	// rounds holds, per project, the answer round currently staging (created
+	// lazily by the first staged answer) and nextRound the sequence number
+	// the next detached round will carry. CommitRound — reached directly by
+	// the API layer or through GenerateTasksFromCyLog — commits a round via
+	// RunIncremental, so a whole round of crowd answers costs one
+	// delta-seeded fixpoint instead of a full re-run per answer. See
+	// service.go for the round/sequence contract.
+	rounds    map[project.ID]*roundState
+	nextRound map[project.ID]uint64
 	// wals holds each project's attached write-ahead log (nil map until the
 	// first AttachWAL); see platform_wal.go for the commit protocol.
 	wals   map[project.ID]*walBinding
 	events []Event
 	nowFn  func() time.Time
+	// subs are the event sinks registered by Subscribe, keyed by a token the
+	// cancel closure deletes.
+	subs    map[int]func(Event)
+	nextSub int
 }
 
 type requestRef struct {
@@ -89,7 +100,8 @@ func New() *Platform {
 		engines:     make(map[project.ID]*cylog.Engine),
 		requestTask: make(map[string]task.ID),
 		taskRequest: make(map[task.ID]requestRef),
-		batches:     make(map[project.ID]*cylog.AnswerBatch),
+		rounds:      make(map[project.ID]*roundState),
+		nextRound:   make(map[project.ID]uint64),
 		nowFn:       time.Now,
 	}
 }
@@ -112,9 +124,18 @@ func (p *Platform) now() time.Time {
 
 func (p *Platform) record(e Event) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	e.At = p.nowFn()
 	p.events = append(p.events, e)
+	sinks := make([]func(Event), 0, len(p.subs))
+	for _, fn := range p.subs {
+		sinks = append(sinks, fn)
+	}
+	p.mu.Unlock()
+	// Sinks run outside the lock so they may inspect the platform, but they
+	// must not record events of their own (Subscribe documents this).
+	for _, fn := range sinks {
+		fn(e)
+	}
 }
 
 // Events returns a copy of the platform event log.
@@ -246,32 +267,15 @@ func (p *Platform) GenerateTasksFromCyLog(projectID project.ID) ([]*task.Task, e
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", project.ErrUnknownProject, projectID)
 	}
-	eng := p.Engine(projectID)
-	if eng == nil {
-		return nil, fmt.Errorf("platform: project %s has no CyLog description", projectID)
-	}
-	p.mu.Lock()
-	batch := p.batches[projectID]
-	delete(p.batches, projectID)
-	p.mu.Unlock()
-	requests, err := eng.RunIncremental(batch)
+	// CommitRound is the shared commit path with the HTTP ingress: batch
+	// application, incremental fixpoint, the WAL durability barrier (answers
+	// are persisted before any task derived from them is generated) and the
+	// round-stamped "fixpoint" event.
+	rc, err := p.CommitRound(projectID)
 	if err != nil {
 		return nil, err
 	}
-	if batch != nil {
-		// Staging-time rejections were reported by feedResultToCyLog as they
-		// happened; commit-time rejections (a request closed between staging
-		// and commit) are benign but kept in the audit log.
-		for _, be := range batch.CommitErrors() {
-			p.record(Event{Kind: "cylog-answer-skipped", Project: projectID, Message: be.Error()})
-		}
-	}
-	// Durability barrier: the round's ingested answers reach the WAL before
-	// any task derived from them is generated — a crash after this line
-	// re-derives the same state; a crash before it re-asks the round.
-	if err := p.persistRound(projectID, eng); err != nil {
-		return nil, err
-	}
+	requests := rc.Requests
 	now := p.now()
 	var created []*task.Task
 	for _, req := range requests {
@@ -511,48 +515,19 @@ func (p *Platform) feedResultToCyLog(t *task.Task, result *task.Result) error {
 		return nil
 	}
 	answer := answerFields(ref.request, result)
-	for {
-		batch := p.roundBatch(ref.project, eng)
-		err := batch.Answer(ref.request.ID, answer)
-		switch {
-		case err == nil:
-			return nil
-		case errors.Is(err, cylog.ErrBatchCommitted):
-			// The round committed between fetching the batch and staging into
-			// it (a concurrent GenerateTasksFromCyLog): retire the stale
-			// pointer and stage into the next round rather than dropping the
-			// worker's answer.
-			p.retireBatch(ref.project, batch)
-		case errors.Is(err, cylog.ErrRequestClosed), errors.Is(err, cylog.ErrDuplicateAnswer):
-			p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: t.ID, Message: err.Error()})
-			return nil
-		default:
-			p.record(Event{Kind: "cylog-answer-error", Project: ref.project, Task: t.ID, Message: err.Error()})
-			return fmt.Errorf("platform: feeding result of task %s to CyLog: %w", t.ID, err)
-		}
-	}
-}
-
-// roundBatch returns the project's current answer batch, opening a fresh
-// round when none is staging.
-func (p *Platform) roundBatch(id project.ID, eng *cylog.Engine) *cylog.AnswerBatch {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	b := p.batches[id]
-	if b == nil {
-		b = eng.NewAnswerBatch()
-		p.batches[id] = b
-	}
-	return b
-}
-
-// retireBatch drops the project's batch pointer if it still names the given
-// (already committed) batch, so the next stage opens a fresh round.
-func (p *Platform) retireBatch(id project.ID, b *cylog.AnswerBatch) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.batches[id] == b {
-		delete(p.batches, id)
+	// StageAnswer retries into the next round if the current one commits
+	// underneath us (a concurrent GenerateTasksFromCyLog or API CommitRound),
+	// so the worker's answer is never dropped.
+	_, err := p.StageAnswer(ref.project, ref.request.ID, answer)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, cylog.ErrRequestClosed), errors.Is(err, cylog.ErrDuplicateAnswer):
+		p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: t.ID, Message: err.Error()})
+		return nil
+	default:
+		p.record(Event{Kind: "cylog-answer-error", Project: ref.project, Task: t.ID, Message: err.Error()})
+		return fmt.Errorf("platform: feeding result of task %s to CyLog: %w", t.ID, err)
 	}
 }
 
