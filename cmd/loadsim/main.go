@@ -149,11 +149,16 @@ func run(base, projectID string, items, workers int, seed int64, timeout time.Du
 
 	// Latency tracker: workers append stamps as answers are accepted; the
 	// event listener resolves every stamp covered by each arriving fixpoint
-	// round into a latency sample.
+	// round into a latency sample. maxRound is the highest fixpoint round
+	// seen so far — an answer whose covering event raced ahead of its 202
+	// (the listener can process the round's fixpoint before SubmitAnswer
+	// returns) resolves at append time instead of waiting for a later event
+	// that may never come on the run's final round.
 	var (
 		mu        sync.Mutex
 		pending   []stamp
 		latencies []float64
+		maxRound  uint64
 		lastEvent time.Time
 		resolved  = make(chan struct{}, 1)
 	)
@@ -173,6 +178,9 @@ func run(base, projectID string, items, workers int, seed int64, timeout time.Du
 			}
 			now := time.Now()
 			mu.Lock()
+			if msg.Round > maxRound {
+				maxRound = msg.Round
+			}
 			kept := pending[:0]
 			for _, s := range pending {
 				if s.round <= msg.Round {
@@ -226,8 +234,17 @@ func run(base, projectID string, items, workers int, seed int64, timeout time.Du
 				for {
 					resp, err := client.SubmitAnswer(tv.ID, values)
 					if err == nil {
+						now := time.Now()
 						mu.Lock()
-						pending = append(pending, stamp{round: resp.Round, at: time.Now()})
+						if resp.Round <= maxRound {
+							// The covering fixpoint event already arrived:
+							// resolve now (zero observed latency) rather
+							// than stranding a stamp no later event covers.
+							latencies = append(latencies, 0)
+							lastEvent = now
+						} else {
+							pending = append(pending, stamp{round: resp.Round, at: now})
+						}
 						mu.Unlock()
 						break
 					}

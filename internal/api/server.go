@@ -153,12 +153,12 @@ func (s *Server) deriveLoop() {
 					continue
 				}
 				if _, err := s.p.CommitRound(id); err != nil {
-					// The answers stay staged-or-lost-with-error in the audit
-					// trail; surface the failure on the event stream so
-					// operators and load harnesses see it.
-					s.hub.publish(platform.Event{
-						At: time.Now(), Kind: "commit-error", Project: id, Message: err.Error(),
-					})
+					// Record through the platform event log, not the hub
+					// directly: the failure must reach the durable audit
+					// trail (Platform.Events, reconnecting subscribers) as
+					// well as currently connected WebSocket clients — the
+					// hub gets it via the server's platform subscription.
+					s.p.Record(platform.Event{Kind: "commit-error", Project: id, Message: err.Error()})
 				}
 			}
 		}
@@ -420,8 +420,12 @@ func (s *Server) handleAllEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, id project.ID) {
 	conn, err := wire.UpgradeWebSocket(w, r)
 	if err != nil {
-		// The connection was not hijacked; a plain HTTP error still works.
-		writeJSON(w, http.StatusBadRequest, errorBody{Code: "bad-upgrade", Error: err.Error()})
+		// A pre-hijack failure leaves w usable, so a plain HTTP error works.
+		// After a hijack (ErrHijacked) the TCP connection is already closed
+		// and anything written to w would be silently discarded.
+		if !errors.Is(err, wire.ErrHijacked) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Code: "bad-upgrade", Error: err.Error()})
+		}
 		return
 	}
 	ch, cancel := s.hub.subscribe(id)

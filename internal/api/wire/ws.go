@@ -40,6 +40,12 @@ const maxFramePayload = 1 << 20
 // ErrClosed reports an orderly close handshake from the peer.
 var ErrClosed = errors.New("api: websocket closed by peer")
 
+// ErrHijacked marks an upgrade failure that happened after the HTTP
+// connection was hijacked: the TCP connection has already been closed here,
+// and the caller must not touch the ResponseWriter (writes to a hijacked
+// response are discarded).
+var ErrHijacked = errors.New("api: websocket handshake failed after hijack")
+
 // wsAccept computes the Sec-WebSocket-Accept token for a client key.
 func wsAccept(key string) string {
 	h := sha1.Sum([]byte(key + wsGUID))
@@ -56,8 +62,12 @@ type Conn struct {
 }
 
 // UpgradeWebSocket performs the server side of the opening handshake and
-// hijacks the HTTP connection. On failure it writes the error response
-// itself and returns nil.
+// hijacks the HTTP connection. It writes nothing on failure. Errors before
+// the hijack (bad headers, a writer that cannot hijack) leave w untouched —
+// the caller should write a plain HTTP error response. Errors after the
+// hijack (the 101 response failed to reach the peer) are wrapped in
+// ErrHijacked: the connection is already closed and the caller must not
+// write to w.
 func UpgradeWebSocket(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
 		!headerContainsToken(r.Header, "Upgrade", "websocket") {
@@ -84,11 +94,11 @@ func UpgradeWebSocket(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 		"Sec-WebSocket-Accept: " + wsAccept(key) + "\r\n\r\n"
 	if _, err := brw.WriteString(resp); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrHijacked, err)
 	}
 	if err := brw.Flush(); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrHijacked, err)
 	}
 	return &Conn{conn: conn, br: brw.Reader}, nil
 }

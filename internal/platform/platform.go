@@ -41,7 +41,7 @@ type AcceptanceModel interface {
 // every Subscribe sink (the API layer streams them over WebSocket).
 type Event struct {
 	At      time.Time
-	Kind    string // "project-registered", "task-generated", "task-assigned", "task-completed", "infeasible", "reassigned", "fixpoint", "wal-*", "cylog-answer-*"
+	Kind    string // "project-registered", "task-generated", "task-assigned", "task-completed", "infeasible", "reassigned", "fixpoint", "commit-error", "wal-*", "cylog-answer-*"
 	Project project.ID
 	Task    task.ID
 	// Round is the answer-round sequence number for round-scoped events
@@ -72,6 +72,13 @@ type Platform struct {
 	// service.go for the round/sequence contract.
 	rounds    map[project.ID]*roundState
 	nextRound map[project.ID]uint64
+	// commits serializes each project's commit points (CommitRound end to
+	// end, SubmitResult's answer+persist). p.mu only guards map access and
+	// is dropped during the fixpoint and WAL writes; without this lock two
+	// concurrent commits could publish their round-stamped "fixpoint" events
+	// out of order (breaking the round contract in service.go) and race into
+	// the project's WAL. Created lazily per project under p.mu.
+	commits map[project.ID]*sync.Mutex
 	// wals holds each project's attached write-ahead log (nil map until the
 	// first AttachWAL); see platform_wal.go for the commit protocol.
 	wals   map[project.ID]*walBinding
@@ -102,6 +109,7 @@ func New() *Platform {
 		taskRequest: make(map[task.ID]requestRef),
 		rounds:      make(map[project.ID]*roundState),
 		nextRound:   make(map[project.ID]uint64),
+		commits:     make(map[project.ID]*sync.Mutex),
 		nowFn:       time.Now,
 	}
 }
@@ -137,6 +145,13 @@ func (p *Platform) record(e Event) {
 		fn(e)
 	}
 }
+
+// Record appends an externally observed event to the platform's durable
+// event log (stamping the time) and fans it out to every Subscribe sink.
+// The service layer uses it for operational failures — e.g. "commit-error"
+// when a background round commit fails — so they reach both the audit log
+// read by Events and every live subscriber, not just one or the other.
+func (p *Platform) Record(e Event) { p.record(e) }
 
 // Events returns a copy of the platform event log.
 func (p *Platform) Events() []Event {
@@ -555,6 +570,13 @@ func (p *Platform) SubmitResult(taskID task.ID, result *task.Result) error {
 	if !mapped || eng == nil {
 		return nil
 	}
+	// A lone submission is its own commit point: it takes the project's
+	// commit mutex so the answer's journal entry and its WAL append cannot
+	// interleave with a concurrent CommitRound's persist, and the answer is
+	// persisted before the submission is acknowledged.
+	cl := p.commitLock(ref.project)
+	cl.Lock()
+	defer cl.Unlock()
 	if err := eng.Answer(ref.request.ID, answerFields(ref.request, result)); err != nil {
 		if errors.Is(err, cylog.ErrRequestClosed) {
 			p.record(Event{Kind: "cylog-answer-skipped", Project: ref.project, Task: taskID, Message: err.Error()})
@@ -563,7 +585,6 @@ func (p *Platform) SubmitResult(taskID task.ID, result *task.Result) error {
 		p.record(Event{Kind: "cylog-answer-error", Project: ref.project, Task: taskID, Message: err.Error()})
 		return fmt.Errorf("platform: feeding result of task %s to CyLog: %w", taskID, err)
 	}
-	// A lone submission is its own commit point: persist before acking.
 	return p.persistRound(ref.project, eng)
 }
 

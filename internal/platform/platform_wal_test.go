@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/crowd4u/crowd4u-go/internal/cylog"
@@ -216,6 +217,125 @@ func TestAttachWALRequiresEngine(t *testing.T) {
 	}
 	if _, ok := p.WALStats(plain.Description.ID); ok {
 		t.Error("WALStats should report no WAL")
+	}
+}
+
+// TestConcurrentCommitRoundsSerialized hammers CommitRound from several
+// goroutines — mostly empty rounds racing the rounds that carry staged
+// answers — against a WAL-attached project, the commit pattern the HTTP
+// layer makes reachable (deriver ticks racing explicit POST .../fixpoint).
+// Run under -race it is the regression gate for the per-project commit
+// mutex: without it, concurrent commits interleave into wal.Log.Append and
+// can publish a later round's "fixpoint" event before an earlier round's
+// answers are durable. The test checks both ends of the contract: fixpoint
+// events land in strictly increasing round order, and the log recovers to
+// the exact live engine state.
+func TestConcurrentCommitRoundsSerialized(t *testing.T) {
+	const program = `
+rel item(id: int).
+open rel label(id: int, ok: bool) key(id) asks "ok?".
+rel labeled(id: int).
+
+labeled(I) :- item(I), label(I, true).
+`
+	const (
+		items      = 64
+		stagers    = 8
+		committers = 4
+	)
+	p := New()
+	admin, err := p.RegisterProject(project.Description{ID: "load", Name: "load", CyLogSource: program})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := admin.Description.ID
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AttachWAL(id, l, 3); err != nil {
+		t.Fatal(err)
+	}
+	eng := p.Engine(id)
+	for i := 1; i <= items; i++ {
+		if err := eng.AddFact("item", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc, err := p.CommitRound(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.Requests) != items {
+		t.Fatalf("initial commit left %d requests, want %d", len(rc.Requests), items)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := p.CommitRound(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < stagers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < items; i += stagers {
+				if _, err := p.StageAnswer(id, rc.Requests[i].ID, map[string]any{"ok": true}); err != nil {
+					t.Errorf("staging %s: %v", rc.Requests[i].ID, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := p.CommitRound(id); err != nil { // flush whatever is still staged
+		t.Fatal(err)
+	}
+	if got := len(eng.Facts("labeled")); got != items {
+		t.Fatalf("labeled = %d facts, want %d (answers lost in concurrent commits)", got, items)
+	}
+	// The round contract: fixpoint events must appear in strictly increasing
+	// round order — an empty round must not overtake the round whose answers
+	// it would falsely declare durable.
+	var last uint64
+	for _, e := range p.Events() {
+		if e.Kind != "fixpoint" {
+			continue
+		}
+		if e.Round <= last {
+			t.Fatalf("fixpoint round %d recorded after round %d", e.Round, last)
+		}
+		last = e.Round
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The concurrently written log recovers byte-identically.
+	p2 := New()
+	admin2, err := p2.RegisterProject(project.Description{ID: "load", Name: "load", CyLogSource: program})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := wal.Open(dir, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := p2.RecoverProject(admin2.Description.ID, l2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := engineFingerprint(p2.Engine(admin2.Description.ID)), engineFingerprint(eng); got != want {
+		t.Fatalf("recovered engine differs:\n got %s\nwant %s", got, want)
 	}
 }
 

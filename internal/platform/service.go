@@ -3,6 +3,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/crowd4u/crowd4u-go/internal/cylog"
@@ -165,6 +166,21 @@ type RoundCommit struct {
 	Duration time.Duration
 }
 
+// commitLock returns the project's commit mutex, creating it on first use.
+func (p *Platform) commitLock(id project.ID) *sync.Mutex {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.commits == nil {
+		p.commits = make(map[project.ID]*sync.Mutex)
+	}
+	cl := p.commits[id]
+	if cl == nil {
+		cl = &sync.Mutex{}
+		p.commits[id] = cl
+	}
+	return cl
+}
+
 // CommitRound atomically commits the project's staging round: the batch's
 // answers are inserted, the delta-seeded incremental fixpoint re-derives
 // consequences, the round is persisted to the project's WAL (when attached)
@@ -173,11 +189,22 @@ type RoundCommit struct {
 // after AddFact-style ingestion) and still consumes a sequence number.
 // Concurrent stagers are never lost: they either made this round's batch or
 // are staging into the next one.
+//
+// Commits for one project are serialized end to end (detach through the
+// "fixpoint" event) by the project's commit mutex, so concurrent callers —
+// the API deriver loop, explicit POST .../fixpoint requests, and
+// GenerateTasksFromCyLog — cannot interleave: round N's event is always
+// recorded before round N+1 detaches, which is what lets a client treat
+// "observed fixpoint round >= N" as proof that round N's answers are
+// inserted and durable.
 func (p *Platform) CommitRound(projectID project.ID) (RoundCommit, error) {
 	eng, err := p.engineFor(projectID)
 	if err != nil {
 		return RoundCommit{}, err
 	}
+	cl := p.commitLock(projectID)
+	cl.Lock()
+	defer cl.Unlock()
 	batch, seq := p.detachRound(projectID)
 	// With nothing staging the commit still consumes a sequence number (an
 	// empty round), keeping round numbers monotone so "staged into round N,

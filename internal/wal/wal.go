@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/crowd4u/crowd4u-go/internal/cylog"
@@ -103,11 +104,20 @@ type Stats struct {
 	TornBytesDropped int64  // trailing bytes discarded at Open
 }
 
-// Log is an append-only write-ahead log plus its snapshot directory. Methods
-// are not safe for concurrent use; the platform serializes round commits.
+// Log is an append-only write-ahead log plus its snapshot directory. Append,
+// Snapshot, TruncateObsolete, Stats and Close are safe for concurrent use —
+// the platform already serializes commits per project, but the log guards its
+// own sequence counter and file offset so a racing caller corrupts nothing.
+// Open and Recover are startup-only and must complete before any of the
+// above run.
 type Log struct {
-	dir      string
-	opts     Options
+	dir  string
+	opts Options
+
+	// mu guards the file handle, sequence counters and stats below: an
+	// append is two physical writes (header, payload) that must not
+	// interleave with another append or a truncation's handle swap.
+	mu       sync.Mutex
 	f        *os.File
 	lastSeq  uint64
 	snapSeq  uint64 // newest on-disk snapshot's sequence (0 = none)
@@ -232,6 +242,8 @@ func (l *Log) scan() error {
 // so a crash between them leaves exactly the torn tail Open tolerates. The
 // fsync policy decides whether the record is flushed before returning.
 func (l *Log) Append(ops []cylog.FactOp) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(ops) == 0 {
 		return l.lastSeq, nil
 	}
@@ -292,6 +304,8 @@ func (l *Log) writeAll(kind string, b []byte) error {
 // renamed into place, so an interrupted snapshot never replaces a valid one.
 // It returns the sequence the snapshot covers.
 func (l *Log) Snapshot(e *cylog.Engine) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	names := make([]string, 0)
 	for _, name := range e.Database().Names() {
 		if !e.Analysis().IDB[name] {
@@ -355,6 +369,8 @@ func (l *Log) Snapshot(e *cylog.Engine) (uint64, error) {
 // covers. The log is rewritten through a temporary file and renamed into
 // place. Sequence numbers keep increasing across truncations.
 func (l *Log) TruncateObsolete() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	seqs, err := l.snapshotSeqs()
 	if err != nil {
 		return err
@@ -425,10 +441,16 @@ func (l *Log) TruncateObsolete() error {
 }
 
 // Stats returns a copy of the log's activity counters.
-func (l *Log) Stats() Stats { return l.stats }
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
 
 // Close flushes and closes the log file.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.opts.Policy != SyncOff {
 		if err := l.f.Sync(); err != nil {
 			l.f.Close()
