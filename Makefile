@@ -12,16 +12,21 @@ BENCHPKGS := ./internal/cylog/ ./internal/relstore/ ./internal/wal/
 CRASH_ITERS ?= 5
 CRASH_SEED  ?= 1
 
+# Native Go fuzzing smoke (`make fuzz`): each target gets FUZZTIME of
+# coverage-guided exploration. Crashers found previously are committed under
+# testdata/fuzz/ and replay as regular tests on every `go test` run.
+FUZZTIME ?= 30s
+
 # staticcheck is pinned so CI results are reproducible; `make lint` skips it
 # gracefully when the binary is absent so local runs need no extra install.
 STATICCHECK_VERSION ?= 2024.1.1
 
 # Coverage floors for the engine packages, enforced by `make cover`. Current
-# coverage is ~93.2% (cylog), ~88.4% (relstore) and ~86.2% (wal); the floors
-# sit a point or two below to absorb refactoring noise. Raise them when
-# coverage genuinely improves; never lower them to make CI pass.
-COVER_FLOOR_CYLOG    ?= 92
-COVER_FLOOR_RELSTORE ?= 87
+# coverage is ~93.4% (cylog), ~88.4% (relstore) and ~86.6% (wal); the floors
+# sit just below to absorb refactoring noise. Raise them when coverage
+# genuinely improves; never lower them to make CI pass.
+COVER_FLOOR_CYLOG    ?= 93
+COVER_FLOOR_RELSTORE ?= 88
 COVER_FLOOR_WAL      ?= 85
 
 BENCHOUT     ?= bench.out
@@ -34,7 +39,7 @@ COVERPROFILE ?= cover.out
 LOADSIM_ARGS      ?= -items 400 -workers 32 -commit-interval 10ms -queue 1024 -seed 1
 PLATFORM_BENCHOUT ?= platform_bench.out
 
-.PHONY: build test test-sequential test-sharded lint vet fmt staticcheck bench benchcheck loadcheck cover crashcheck linkcheck ci
+.PHONY: build test test-sequential test-sharded lint vet fmt staticcheck bench benchcheck loadcheck cover crashcheck crashcheck-content fuzz linkcheck ci
 
 build:
 	$(GO) build $(PKGS)
@@ -113,9 +118,24 @@ cover:
 crashcheck:
 	$(GO) run ./cmd/walcheck -iterations $(CRASH_ITERS) -seed $(CRASH_SEED)
 
+# Content-fuzz variant of the crash differential: answers carry adversarial
+# string values (separators, control bytes, NULs, long runs) and the
+# fingerprint additionally folds in per-column distinct-count statistics, so
+# corrupted stats restoration fails the diff too.
+crashcheck-content:
+	$(GO) run ./cmd/walcheck -iterations $(CRASH_ITERS) -seed $(CRASH_SEED) -content-fuzz
+
+# Coverage-guided fuzzing smoke for the untrusted-input surfaces: the binary
+# snapshot importer and the CyLog parser. Go allows one -fuzz target per
+# invocation, hence two runs. Crashers are saved under the package's
+# testdata/fuzz/ — commit them; they become permanent regression seeds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzImportDatabaseBinary$$' -fuzztime $(FUZZTIME) ./internal/relstore/
+	$(GO) test -run '^$$' -fuzz '^FuzzParser$$' -fuzztime $(FUZZTIME) ./internal/cylog/
+
 # Validates relative links (files and heading anchors) in README.md,
 # EXPERIMENTS.md and docs/; no network access.
 linkcheck:
 	$(GO) test -run TestMarkdownLinks -count=1 ./internal/docs/
 
-ci: build lint test test-sequential test-sharded linkcheck benchcheck cover crashcheck
+ci: build lint test test-sequential test-sharded linkcheck benchcheck cover crashcheck crashcheck-content

@@ -26,6 +26,13 @@
 // key and the run seed, so a request whose answer the crash destroyed is
 // re-asked and re-answered identically — the differential holds for every
 // kill point. Fsync policy and snapshot cadence are randomized per iteration.
+//
+// With -content-fuzz the scenario swaps to a string-labelled open relation
+// and answers carry adversarial values (control bytes, NULs, unicode, long
+// runs) drawn from a per-iteration salt; the differential then also covers
+// the relations' content-derived statistics — row counts and per-column
+// distinct estimates — so recovery must rebuild the planner's cost inputs
+// exactly, not just the tuples.
 package main
 
 import (
@@ -62,6 +69,43 @@ approved(N) :- endpoint(N), approve(N, true).
 rejected(N) :- endpoint(N), !approved(N).
 `
 
+// contentCyLog is the content-fuzz scenario: the open relation carries a
+// free-text label column, so the adversarial answer values flow through the
+// task form, the engine, the WAL record codec and the snapshot codec, and
+// crash recovery must reproduce them byte-for-byte.
+const contentCyLog = `
+rel edge(a: int, b: int).
+rel reach(a: int, b: int).
+rel endpoint(n: int).
+open rel tag(n: int, label: string) key(n) asks "Label this endpoint".
+rel tagged(n: int, label: string).
+rel untagged(n: int).
+
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+endpoint(N) :- reach(_, N), !edge(N, _).
+tagged(N, L) :- endpoint(N), tag(N, L).
+untagged(N) :- endpoint(N), !tagged(N, _).
+`
+
+// adversarialLabels are the content shapes the fuzz mode cycles through:
+// whitespace, quoting, control bytes, NULs, unicode, separators the codecs
+// or the fingerprint might mis-handle, and a long run. Values are suffixed
+// per request so distinct-count estimates move too.
+var adversarialLabels = []string{
+	"plain",
+	"with space",
+	"newline\nsplit",
+	"tab\tsep",
+	"quote\"'`",
+	"unit\x1fsep",
+	"nul\x00byte",
+	"naïve-ünïcode-日本語",
+	"comma,semicolon;pipe|colon:",
+	" leading-and-trailing ",
+	strings.Repeat("x", 1024),
+}
+
 // scenario is one deterministic crash-replay configuration.
 type scenario struct {
 	dir       string
@@ -77,6 +121,24 @@ type scenario struct {
 	// killAt, when > 0, SIGKILLs the process immediately before the killAt-th
 	// physical WAL write.
 	killAt int
+	// content switches to the content-fuzz scenario: a string-labelled open
+	// relation answered with adversarial values drawn from salt — crash
+	// recovery must reproduce the exact bytes, and the fingerprint's
+	// content-derived statistics (row counts + distinct estimates), not just
+	// the tuple values.
+	content bool
+	salt    int64
+}
+
+// label picks this request's adversarial answer value as a pure function of
+// the content salt and the request key, so crash and resume submit identical
+// bytes. The numeric suffix varies per key, keeping per-column distinct
+// counts moving.
+func (s scenario) label(keyVals string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|label", s.salt, keyVals)
+	v := h.Sum64()
+	return fmt.Sprintf("%s#%d", adversarialLabels[v%uint64(len(adversarialLabels))], v%97)
 }
 
 // oracle decides, as a pure function of the request key and the run seed,
@@ -96,8 +158,12 @@ func (s scenario) oracle(keyVals string) (answer bool, ok bool) {
 func (s scenario) run() (string, int, error) {
 	p := platform.New()
 	p.SetClock(func() time.Time { return time.Date(2016, 9, 5, 9, 0, 0, 0, time.UTC) })
+	source := crowdCyLog
+	if s.content {
+		source = contentCyLog
+	}
 	admin, err := p.RegisterProject(project.Description{
-		Name: "crashcheck", Requester: "walcheck", CyLogSource: crowdCyLog,
+		Name: "crashcheck", Requester: "walcheck", CyLogSource: source,
 	})
 	if err != nil {
 		return "", 0, err
@@ -150,11 +216,15 @@ func (s scenario) run() (string, int, error) {
 			if !doAnswer {
 				continue
 			}
-			val := "no"
-			if approve {
-				val = "yes"
+			fields := map[string]string{}
+			if s.content {
+				fields["label"] = s.label(key)
+			} else if approve {
+				fields["ok"] = "yes"
+			} else {
+				fields["ok"] = "no"
 			}
-			res := &task.Result{SubmittedBy: "sim", Fields: map[string]string{"ok": val}, Quality: 1}
+			res := &task.Result{SubmittedBy: "sim", Fields: fields, Quality: 1}
 			// Alternate the two submission paths so both the immediate and
 			// the batched commit points face random kill offsets.
 			if rng.Intn(2) == 0 {
@@ -193,8 +263,12 @@ func taskKey(tk *task.Task) string {
 }
 
 // fingerprint digests the durable observables: every relation's sorted
-// tuples plus the sorted pending request ids. Task-pool ids restart with the
-// process and are deliberately excluded.
+// tuples, its content-derived statistics (row count and per-column distinct
+// estimates — pure functions of the contents, so recovery must rebuild them
+// exactly; the stats *epoch* is deliberately excluded, being a history
+// counter that legitimately differs between an uninterrupted run and a
+// crash-recovered one), plus the sorted pending request ids. Task-pool ids
+// restart with the process and are deliberately excluded.
 func fingerprint(e *cylog.Engine) string {
 	h := sha256.New()
 	for _, name := range e.Database().Names() {
@@ -202,6 +276,12 @@ func fingerprint(e *cylog.Engine) string {
 		for _, tup := range e.Facts(name) {
 			fmt.Fprintf(h, "%v;", tup)
 		}
+		rel := e.Database().Relation(name)
+		fmt.Fprintf(h, "rows=%d", rel.Len())
+		for c := 0; c < rel.Schema().Arity(); c++ {
+			fmt.Fprintf(h, ",d%d=%d", c, rel.ColumnDistinct(c))
+		}
+		fmt.Fprint(h, ";")
 	}
 	var ids []string
 	for _, r := range e.PendingRequests() {
@@ -214,21 +294,24 @@ func fingerprint(e *cylog.Engine) string {
 
 func main() {
 	var (
-		child      = flag.Bool("child", false, "internal: run one scenario and (optionally) self-kill")
-		dir        = flag.String("dir", "", "WAL directory (child mode)")
-		seed       = flag.Int64("seed", 1, "run seed (oracle decisions and kill points)")
-		edges      = flag.Int("edges", 120, "edge facts per run (chains of 10)")
-		iterations = flag.Int("iterations", 5, "randomized kill points to test")
-		policyFlag = flag.Int("policy", 0, "fsync policy (child mode): 0=always 1=interval 2=off")
-		snapEvery  = flag.Int("snapshot-every", 0, "snapshot cadence in appended records (child mode)")
-		shards     = flag.Int("shards", 0, "engine shard count (0 = cycle 1,2,4 across iterations)")
-		killAt     = flag.Int("kill-write", 0, "self-kill before this WAL write (child mode)")
+		child       = flag.Bool("child", false, "internal: run one scenario and (optionally) self-kill")
+		dir         = flag.String("dir", "", "WAL directory (child mode)")
+		seed        = flag.Int64("seed", 1, "run seed (oracle decisions and kill points)")
+		edges       = flag.Int("edges", 120, "edge facts per run (chains of 10)")
+		iterations  = flag.Int("iterations", 5, "randomized kill points to test")
+		policyFlag  = flag.Int("policy", 0, "fsync policy (child mode): 0=always 1=interval 2=off")
+		snapEvery   = flag.Int("snapshot-every", 0, "snapshot cadence in appended records (child mode)")
+		shards      = flag.Int("shards", 0, "engine shard count (0 = cycle 1,2,4 across iterations)")
+		killAt      = flag.Int("kill-write", 0, "self-kill before this WAL write (child mode)")
+		contentFuzz = flag.Bool("content-fuzz", false, "fuzz answer values: adversarial string labels per iteration, stats included in the differential")
+		contentSalt = flag.Int64("content-salt", 0, "content-fuzz label salt (child mode)")
 	)
 	flag.Parse()
 
 	if *child {
 		s := scenario{dir: *dir, seed: *seed, edges: *edges,
-			policy: wal.SyncPolicy(*policyFlag), snapEvery: *snapEvery, shards: *shards, killAt: *killAt}
+			policy: wal.SyncPolicy(*policyFlag), snapEvery: *snapEvery, shards: *shards, killAt: *killAt,
+			content: *contentFuzz, salt: *contentSalt}
 		digest, writes, err := s.run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "walcheck child:", err)
@@ -238,7 +321,7 @@ func main() {
 		return
 	}
 
-	if err := drive(*seed, *edges, *iterations, *shards); err != nil {
+	if err := drive(*seed, *edges, *iterations, *shards, *contentFuzz); err != nil {
 		fmt.Fprintln(os.Stderr, "walcheck: FAIL:", err)
 		os.Exit(1)
 	}
@@ -248,7 +331,9 @@ func main() {
 // randomized child crash + in-process recovery + differential. shards pins
 // the engine shard count for every run; 0 cycles 1, 2, 4 across iterations so
 // the default CI invocation covers recovery into sharded fixpoints too.
-func drive(seed int64, edges, iterations, shards int) error {
+// content switches every run to the content-fuzz scenario with a fresh label
+// salt per iteration.
+func drive(seed int64, edges, iterations, shards int, content bool) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -267,12 +352,14 @@ func drive(seed int64, edges, iterations, shards int) error {
 		if iterShards == 0 {
 			iterShards = []int{1, 2, 4}[iter%3]
 		}
+		salt := rng.Int63()
 		iterDir := fmt.Sprintf("%s/iter%d", root, iter)
 
 		// Reference: the uninterrupted run under this iteration's exact
 		// configuration. Its write count bounds the kill offset; its digest
 		// is what every crashed-and-recovered run must reproduce.
-		ref := scenario{dir: iterDir + "-ref", seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards}
+		ref := scenario{dir: iterDir + "-ref", seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards,
+			content: content, salt: salt}
 		refDigest, refWrites, err := ref.run()
 		if err != nil {
 			return fmt.Errorf("iteration %d reference: %w", iter, err)
@@ -283,12 +370,17 @@ func drive(seed int64, edges, iterations, shards int) error {
 		kill := 1 + rng.Intn(refWrites)
 
 		crashDir := iterDir + "-crash"
-		cmd := exec.Command(self,
+		args := []string{
 			"-child", "-dir", crashDir,
 			"-seed", fmt.Sprint(seed), "-edges", fmt.Sprint(edges),
 			"-policy", fmt.Sprint(int(policy)), "-snapshot-every", fmt.Sprint(snapEvery),
 			"-shards", fmt.Sprint(iterShards),
-			"-kill-write", fmt.Sprint(kill))
+			"-kill-write", fmt.Sprint(kill),
+		}
+		if content {
+			args = append(args, "-content-fuzz", "-content-salt", fmt.Sprint(salt))
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Stderr = os.Stderr
 		err = cmd.Run()
 		if err == nil {
@@ -300,7 +392,8 @@ func drive(seed int64, edges, iterations, shards int) error {
 
 		// Recover in this process from whatever the kill left behind and
 		// resume the identical scenario to quiescence.
-		resume := scenario{dir: crashDir, seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards}
+		resume := scenario{dir: crashDir, seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards,
+			content: content, salt: salt}
 		gotDigest, _, err := resume.run()
 		if err != nil {
 			return fmt.Errorf("iteration %d: recovery after kill at write %d/%d (policy=%s snapshot-every=%d): %w",
@@ -313,7 +406,11 @@ func drive(seed int64, edges, iterations, shards int) error {
 		fmt.Printf("walcheck: iteration %d ok — killed at write %d/%d, policy=%s, snapshot-every=%d, shards=%d, digest %s\n",
 			iter, kill, refWrites, policy, snapEvery, iterShards, refDigest[:12])
 	}
-	fmt.Printf("walcheck: PASS — %d randomized kill points recovered byte-identically (seed=%d, rerun with -seed to reproduce)\n",
-		iterations, seed)
+	mode := "answers"
+	if content {
+		mode = "content-fuzzed answers"
+	}
+	fmt.Printf("walcheck: PASS — %d randomized kill points with %s recovered byte-identically (seed=%d, rerun with -seed to reproduce)\n",
+		iterations, mode, seed)
 	return nil
 }

@@ -310,6 +310,59 @@ func BenchmarkOracleLoopRetraction(b *testing.B) {
 	b.Run("incremental-10k", func(b *testing.B) { benchOracleLoopRetraction(b, 10000, 100, true) })
 }
 
+// benchOracleLoopPlanCache is the oracle loop with cost-aware planning and
+// the compiled plan cache toggled: the same incremental, insert-only crowd
+// rounds as BenchmarkOracleLoop/incremental, planned either by the cached
+// cost-aware planner (cost=true, the default) or by the cardinality-only
+// planner re-run on every evaluation pass (cost=false, the pre-cost engine
+// and the differential reference). The cost-on verification asserts the
+// cache actually engages in steady state — PlanCacheHits > 0 — which holds
+// because the drift threshold leaves stats epochs alone once relations stop
+// growing quickly, so later rounds replan nothing.
+func benchOracleLoopPlanCache(b *testing.B, edges, wave int, cost bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := NewEngine(MustParse(crowdTCProgram))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetRetraction(false)
+		e.SetParallelism(1)
+		e.SetIncrementalAnswering(true)
+		e.SetCostPlanning(cost)
+		loadCrowdTC(e, edges)
+		b.StartTimer()
+		total, err := e.RunToFixpointWithOracle(waveOracle(wave), 1000)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(e.Facts("approved")); got != edges/10 {
+			b.Fatalf("approved = %d facts, want %d", got, edges/10)
+		}
+		if cost && total.PlanCacheHits == 0 {
+			b.Fatalf("steady-state loop never hit the plan cache: %+v", total)
+		}
+		if !cost && (total.PlanCacheHits != 0 || total.PlanCacheMisses != 0) {
+			b.Fatalf("cost-off loop touched the plan cache: %+v", total)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOracleLoopPlanCache measures what plan caching and cost-aware
+// planning buy on the crowd loop at 1k and 10k scale. Compare costoff (plan
+// on every pass) against coston (cached plans, selectivity tie-breaks,
+// pre-sized joins); BENCH_cylog.json records the baselines.
+func BenchmarkOracleLoopPlanCache(b *testing.B) {
+	b.Run("costoff-1k", func(b *testing.B) { benchOracleLoopPlanCache(b, 1000, 10, false) })
+	b.Run("coston-1k", func(b *testing.B) { benchOracleLoopPlanCache(b, 1000, 10, true) })
+	b.Run("costoff-10k", func(b *testing.B) { benchOracleLoopPlanCache(b, 10000, 100, false) })
+	b.Run("coston-10k", func(b *testing.B) { benchOracleLoopPlanCache(b, 10000, 100, true) })
+}
+
 // benchOracleLoopSharded is the oracle loop under hash-partitioned
 // evaluation: the same incremental, insert-only crowd rounds as
 // BenchmarkOracleLoop/incremental, fanned across `shards` engine shards with

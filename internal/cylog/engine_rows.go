@@ -130,12 +130,7 @@ func (b *rowBatch) truncate(n int) {
 // literal dispatch and identical head projection, with row batches threaded
 // through the columnar join/filter primitives below.
 func (e *Engine) evaluateRuleRows(r *Rule, rs *rowSchema, v ruleVariant, stats *Stats, sink *requestSink) ([]relstore.Tuple, error) {
-	var steps []planStep
-	if e.indexing {
-		steps = planRule(r, v.deltaAtom, e.catalog())
-	} else {
-		steps = identityPlan(r)
-	}
+	steps := e.plan(r, v.deltaAtom, stats)
 
 	// One initial row with no slot bound.
 	in := &rowBatch{
@@ -161,7 +156,7 @@ func (e *Engine) evaluateRuleRows(r *Rule, rs *rowSchema, v ruleVariant, stats *
 				if v.deltaAtom == st.bodyIndex {
 					restrict = v.deltaTuples
 				}
-				in, err = e.joinAtomBatch(l, refs, st.probeCols, in, restrict, stats, sink)
+				in, err = e.joinAtomBatch(l, refs, st.probeCols, in, restrict, st.estMatches, stats, sink)
 				if err != nil {
 					return nil, err
 				}
@@ -205,13 +200,19 @@ func (e *Engine) evaluateRuleRows(r *Rule, rs *rowSchema, v ruleVariant, stats *
 // the memory a single retained head tuple can pin).
 const headArenaChunk = 4096
 
+// joinPresizeMaxRows caps how many output rows a join pre-allocates from the
+// planner's estimate, bounding the damage of a wildly high estimate.
+const joinPresizeMaxRows = 4096
+
 // joinAtomBatch extends each row of the batch with the tuples of the atom's
 // relation that are consistent with it — joinAtom on binding rows, with the
 // same three strategies and the same Stats accounting, so work counters
 // agree between the columnar and the map path. The probe callback captures a
 // shared cursor instead of the loop variable, so one closure serves the
-// whole batch.
-func (e *Engine) joinAtomBatch(a *Atom, refs []termRef, probeCols []int, in *rowBatch, restrict []relstore.Tuple, stats *Stats, sink *requestSink) (*rowBatch, error) {
+// whole batch. estMatches is the planner's matches-per-probe estimate for
+// this step (0 = no estimate); it only pre-sizes the output batch, never
+// changes what is emitted.
+func (e *Engine) joinAtomBatch(a *Atom, refs []termRef, probeCols []int, in *rowBatch, restrict []relstore.Tuple, estMatches int, stats *Stats, sink *requestSink) (*rowBatch, error) {
 	rel := e.db.Relation(a.Predicate)
 	if rel == nil {
 		return nil, fmt.Errorf("cylog: relation %q is not declared", a.Predicate)
@@ -219,6 +220,14 @@ func (e *Engine) joinAtomBatch(a *Atom, refs []termRef, probeCols []int, in *row
 	decl := e.analysis.Program.DeclarationFor(a.Predicate)
 	open := decl != nil && decl.Open
 	out := &rowBatch{width: in.width}
+	if estMatches > 0 {
+		rows := in.rows() * estMatches
+		if rows > joinPresizeMaxRows {
+			rows = joinPresizeMaxRows
+		}
+		out.vals = make([]relstore.Value, 0, rows*in.width)
+		out.masks = make([]uint64, 0, rows)
+	}
 
 	if restrict == nil && len(probeCols) > 0 && e.shouldProbe(rel, probeCols) {
 		vals := make([]relstore.Value, len(probeCols))

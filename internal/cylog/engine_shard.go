@@ -103,7 +103,7 @@ func (e *Engine) runStratumSharded(idx int, rules []*Rule, seed, derived map[str
 		stats.Iterations++
 		var rounds []shardRound
 		if full || e.mode == Naive {
-			rounds = e.shardFullRounds(rules, shards)
+			rounds = e.shardFullRounds(rules, shards, stats)
 			stats.RuleEvaluations += len(rules)
 		} else {
 			rounds = make([]shardRound, shards)
@@ -186,13 +186,13 @@ func (e *Engine) evalShardRound(rules []*Rule, round shardRound) shardOutput {
 // unrestricted variant. Rules with no partitionable atom — leading barrier,
 // open atom, probe-answerable first step — run whole on shard 0, the
 // deterministic owner of unpartitionable work.
-func (e *Engine) shardFullRounds(rules []*Rule, shards int) []shardRound {
+func (e *Engine) shardFullRounds(rules []*Rule, shards int, stats *Stats) []shardRound {
 	rounds := make([]shardRound, shards)
 	for s := range rounds {
 		rounds[s].full = true
 	}
 	for _, r := range rules {
-		atom, tuples := e.shardableFullScan(r)
+		atom, tuples := e.shardableFullScan(r, stats)
 		if atom < 0 {
 			rounds[0].tasks = append(rounds[0].tasks, evalTask{rule: r, v: ruleVariant{deltaAtom: -1}})
 			continue

@@ -6,8 +6,8 @@ import (
 	"github.com/crowd4u/crowd4u-go/internal/relstore"
 )
 
-// This file implements the rule planner: a greedy, statistics-free join
-// orderer in the style of pattern-based Datalog engines (cf. janus-datalog's
+// This file implements the rule planner: a greedy join orderer in the style
+// of pattern-based Datalog engines (cf. janus-datalog's
 // reorder-plan-by-relations). For every rule evaluation the planner decides
 //
 //   - the order in which body literals are joined, and
@@ -31,8 +31,10 @@ import (
 // the planner greedily reorders only the runs of closed positive atoms
 // between them. Within a run the choice is boundness-driven — atoms whose
 // join columns are already bound come first (they can be answered by an index
-// probe), ties broken by estimated cardinality, then by source position so
-// plans are deterministic and stable.
+// probe). Ties between equally-bound atoms break by estimated matches per
+// probe when the catalog carries per-column distinct counts (cost-aware
+// planning, cylog.SetCostPlanning), then by cardinality, then by source
+// position so plans are deterministic and stable.
 
 // planStep is one body literal in execution order.
 type planStep struct {
@@ -45,14 +47,40 @@ type planStep struct {
 	// steps. The engine turns them into indexed equality probes. Empty for
 	// comparisons and for atoms with no bound positions.
 	probeCols []int
+	// estMatches is the cost planner's estimate of how many tuples this step
+	// matches per input binding — |R| / Π distinct(probe column), rounded up —
+	// which the columnar join uses to pre-size its output batch. 0 means no
+	// estimate (catalog without distinct counts, or an empty relation).
+	estMatches int
 }
 
 // planCatalog supplies the planner with the catalog facts it needs: which
-// relations are open, and the current cardinality of a relation (the
-// selectivity estimate for unbound atoms).
+// relations are open, the current cardinality of a relation (the selectivity
+// estimate for unbound atoms), and — when cost-aware planning is active —
+// per-column distinct-count estimates. A nil distinct leaves the planner
+// cardinality-only, the reference behaviour of SetCostPlanning(false).
 type planCatalog struct {
-	isOpen func(predicate string) bool
-	card   func(predicate string) int
+	isOpen   func(predicate string) bool
+	card     func(predicate string) int
+	distinct func(predicate string, col int) int
+}
+
+// estMatchesPerProbe estimates how many tuples of the atom's relation match
+// one input binding with the given columns bound: the relation's cardinality
+// divided by the product of the bound columns' distinct counts — the uniform
+// independence assumption every textbook selectivity model starts from. It
+// returns -1 when the catalog has no distinct counts.
+func estMatchesPerProbe(cat planCatalog, a *Atom, probeCols []int) float64 {
+	if cat.distinct == nil {
+		return -1
+	}
+	est := float64(cat.card(a.Predicate))
+	for _, c := range probeCols {
+		if d := cat.distinct(a.Predicate, c); d > 1 {
+			est /= float64(d)
+		}
+	}
+	return est
 }
 
 // planRule orders the body of r for one evaluation pass. deltaAtom is the
@@ -80,10 +108,12 @@ func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
 		for len(run) > 0 {
 			best := pickAtom(r, run, deltaAtom, bound, cat)
 			atom := r.Body[run[best]].(*Atom)
+			probe := probeColumns(atom, bound)
 			steps = append(steps, planStep{
-				lit:       atom,
-				bodyIndex: run[best],
-				probeCols: probeColumns(atom, bound),
+				lit:        atom,
+				bodyIndex:  run[best],
+				probeCols:  probe,
+				estMatches: stepEstimate(cat, atom, probe),
 			})
 			bindAtomVars(atom, bound)
 			run = append(run[:best], run[best+1:]...)
@@ -100,6 +130,7 @@ func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
 		if atom, ok := lit.(*Atom); ok {
 			step.probeCols = probeColumns(atom, bound)
 			if !atom.Negated {
+				step.estMatches = stepEstimate(cat, atom, step.probeCols)
 				bindAtomVars(atom, bound)
 			}
 		}
@@ -109,22 +140,37 @@ func planRule(r *Rule, deltaAtom int, cat planCatalog) []planStep {
 	return steps
 }
 
+// stepEstimate converts the per-probe match estimate into the integer hint a
+// planStep carries: rounded up, at least 1 for any non-empty relation, and 0
+// when there is no estimate to give.
+func stepEstimate(cat planCatalog, a *Atom, probeCols []int) int {
+	est := estMatchesPerProbe(cat, a, probeCols)
+	if est <= 0 {
+		return 0
+	}
+	n := int(est)
+	if float64(n) < est {
+		n++
+	}
+	return n
+}
+
 // planShardAtom returns the body index of the atom an unrestricted
-// evaluation pass of r can be partitioned on — the literal this planner
-// would schedule first, when it is a closed positive atom answered by an
-// unbound full scan — or -1 when the pass must stay whole (leading barrier,
-// open atom, or a probe-answerable first atom, whose restriction would trade
-// an index lookup for partition scans). Both partitioned evaluators lean on
-// this: the parallel path splits the atom's relation into contiguous shards,
-// the sharded path into hash partitions. Restricting the returned atom via
-// the delta mechanism reproduces the unrestricted plan exactly, since a
-// restricted atom always leads its run.
-func planShardAtom(r *Rule, cat planCatalog) int {
-	steps := planRule(r, -1, cat)
+// evaluation pass can be partitioned on — the plan's first step, when it is a
+// closed positive atom answered by an unbound full scan — or -1 when the pass
+// must stay whole (leading barrier, open atom, or a probe-answerable first
+// atom, whose restriction would trade an index lookup for partition scans).
+// Both partitioned evaluators lean on this: the parallel path splits the
+// atom's relation into contiguous shards, the sharded path into hash
+// partitions. It takes the already-computed plan (so shard-prefix decisions
+// share the engine's compiled-plan cache instead of replanning); restricting
+// the returned atom via the delta mechanism reproduces that plan exactly,
+// since a restricted atom always leads its run.
+func planShardAtom(steps []planStep, isOpen func(string) bool) int {
 	if len(steps) == 0 {
 		return -1
 	}
-	if a, ok := steps[0].lit.(*Atom); ok && !a.Negated && !cat.isOpen(a.Predicate) && len(steps[0].probeCols) == 0 {
+	if a, ok := steps[0].lit.(*Atom); ok && !a.Negated && !isOpen(a.Predicate) && len(steps[0].probeCols) == 0 {
 		return steps[0].bodyIndex
 	}
 	return -1
@@ -142,12 +188,16 @@ func identityPlan(r *Rule) []planStep {
 }
 
 // pickAtom returns the index into run of the atom to schedule next: the delta
-// atom if present, otherwise the atom with the most bound term positions,
-// ties broken by smaller relation cardinality, then by source position.
+// atom if present, otherwise the atom with the most bound term positions.
+// Equally-bound atoms order by estimated matches per probe when the catalog
+// carries distinct counts (real selectivity: a probe on a near-unique column
+// of a large relation beats one fanning out over a skewed column of a small
+// one), then by smaller relation cardinality, then by source position.
 func pickAtom(r *Rule, run []int, deltaAtom int, bound map[string]bool, cat planCatalog) int {
 	type score struct {
 		runIndex  int
 		boundCols int
+		est       float64
 		card      int
 		bodyIndex int
 	}
@@ -157,9 +207,11 @@ func pickAtom(r *Rule, run []int, deltaAtom int, bound map[string]bool, cat plan
 			return i
 		}
 		atom := r.Body[bi].(*Atom)
+		probe := probeColumns(atom, bound)
 		scores[i] = score{
 			runIndex:  i,
-			boundCols: len(probeColumns(atom, bound)),
+			boundCols: len(probe),
+			est:       estMatchesPerProbe(cat, atom, probe),
 			card:      cat.card(atom.Predicate),
 			bodyIndex: bi,
 		}
@@ -168,6 +220,9 @@ func pickAtom(r *Rule, run []int, deltaAtom int, bound map[string]bool, cat plan
 		a, b := scores[i], scores[j]
 		if a.boundCols != b.boundCols {
 			return a.boundCols > b.boundCols
+		}
+		if a.est >= 0 && b.est >= 0 && a.est != b.est {
+			return a.est < b.est
 		}
 		if a.card != b.card {
 			return a.card < b.card

@@ -1,0 +1,204 @@
+package cylog
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// costConfig is one cell of the cost-planning differential matrix.
+type costConfig struct {
+	name        string
+	cost        bool
+	parallelism int
+	shards      int
+	incremental bool
+}
+
+// costMatrix enumerates {cost off, on} x {par 1,4} x {shards 1,4} x
+// {incremental, full}. The first cell — cost off, par=1, shards=1, full — is
+// the cardinality-only planner re-run on every pass, i.e. the exact pre-cost
+// engine, and the byte-identical reference every other cell must match.
+func costMatrix() []costConfig {
+	var out []costConfig
+	for _, cost := range []bool{false, true} {
+		for _, par := range []int{1, 4} {
+			for _, shards := range []int{1, 4} {
+				for _, inc := range []bool{false, true} {
+					out = append(out, costConfig{
+						name: fmt.Sprintf("cost=%v/par%d/shards%d/incremental=%v",
+							cost, par, shards, inc),
+						cost:        cost,
+						parallelism: par,
+						shards:      shards,
+						incremental: inc,
+					})
+				}
+			}
+		}
+	}
+	if out[0].cost || out[0].parallelism != 1 || out[0].shards != 1 || out[0].incremental {
+		panic("costMatrix: reference cell moved")
+	}
+	return out
+}
+
+func (cfg costConfig) apply(e *Engine) {
+	e.SetCostPlanning(cfg.cost)
+	e.SetParallelism(cfg.parallelism)
+	e.SetShards(cfg.shards)
+	e.SetIncrementalAnswering(cfg.incremental)
+}
+
+// driveCostRounds runs the crowd loop for a fixed number of rounds under one
+// configuration — full Run first, then batch + RunIncremental — answering a
+// picks-driven subset of pending label requests per round, exactly like the
+// sharded differential driver. It returns the per-round fingerprints
+// (fixpoint + pending requests + request IDs) and per-round DerivedFacts,
+// and asserts the plan-cache counters stay consistent with the toggle: a
+// cost-off engine must never touch the cache.
+func driveCostRounds(t *testing.T, cfg costConfig, edges, nodes, picks []uint8, rounds int) ([]string, []int) {
+	t.Helper()
+	e, err := NewEngine(MustParse(incrementalProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.apply(e)
+	for i := 0; i+1 < len(edges); i += 2 {
+		if err := e.AddFact("edge", int(edges[i]%8), int(edges[i+1]%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		if err := e.AddFact("node", int(n%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prints []string
+	var derived []int
+	var batch *AnswerBatch
+	for round := 0; round < rounds; round++ {
+		var reqs []OpenRequest
+		var err error
+		if batch == nil {
+			reqs, err = e.Run()
+		} else {
+			reqs, err = e.RunIncremental(batch)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := e.Stats()
+		if !cfg.cost && (s.PlanCacheHits != 0 || s.PlanCacheMisses != 0) {
+			t.Fatalf("%s: cost-off run touched the plan cache: %+v", cfg.name, s)
+		}
+		prints = append(prints, dbFingerprint(e, reqs))
+		derived = append(derived, s.DerivedFacts)
+		if len(reqs) == 0 {
+			break
+		}
+		batch = e.NewAnswerBatch()
+		answered := false
+		for _, p := range picks {
+			r := reqs[int(p)%len(reqs)]
+			n, _ := r.Key()["n"].AsInt()
+			if err := batch.Answer(r.ID, map[string]any{"tag": fmt.Sprintf("t%d", n)}); err == nil {
+				answered = true
+			}
+		}
+		if !answered {
+			break
+		}
+	}
+	return prints, derived
+}
+
+// TestCostPlanningDifferential is the acceptance check of cost-aware planning
+// and the compiled plan cache: across random fact sets and random answer
+// subsets, every round's fixpoint, pending requests, request IDs and
+// DerivedFacts under {cost on, off} x {par 1,4} x {shards 1,4} x
+// {incremental, full} are byte-identical to the cost-off/par=1/shards=1/full
+// reference — the cardinality-only planner re-run on every pass. Selectivity
+// tie-breaking, join pre-sizing and plan caching must be pure implementation
+// detail; any divergence means a cached plan was either stale in a way that
+// matters (it never can be — only closed positive atoms reorder) or the
+// cost comparator broke the planner's determinism.
+func TestCostPlanningDifferential(t *testing.T) {
+	f := func(edges, nodes, picks []uint8) bool {
+		if len(nodes) == 0 {
+			nodes = []uint8{1}
+		}
+		if len(picks) == 0 {
+			picks = []uint8{0}
+		}
+		if len(picks) > 5 {
+			picks = picks[:5]
+		}
+		const rounds = 3
+		matrix := costMatrix()
+		refPrints, refDerived := driveCostRounds(t, matrix[0], edges, nodes, picks, rounds)
+		for _, cfg := range matrix[1:] {
+			prints, derived := driveCostRounds(t, cfg, edges, nodes, picks, rounds)
+			if len(prints) != len(refPrints) {
+				t.Logf("%s: %d rounds vs reference %d", cfg.name, len(prints), len(refPrints))
+				return false
+			}
+			for i := range prints {
+				if prints[i] != refPrints[i] {
+					t.Logf("%s: round %d fingerprint diverges:\n%s\nvs reference:\n%s",
+						cfg.name, i, prints[i], refPrints[i])
+					return false
+				}
+				if derived[i] != refDerived[i] {
+					t.Logf("%s: round %d derived %d facts vs reference %d",
+						cfg.name, i, derived[i], refDerived[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostPlanningConfiguration covers the SetCostPlanning surface: default
+// on, the getter, and the differential-reference contract that a cost-off
+// engine plans live (no cache counters) while a cost-on engine records
+// misses then hits.
+func TestCostPlanningConfiguration(t *testing.T) {
+	e, err := NewEngine(MustParse(differentialProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.CostPlanningEnabled() {
+		t.Fatal("cost planning should default to enabled")
+	}
+	e.SetCostPlanning(false)
+	if e.CostPlanningEnabled() {
+		t.Fatal("SetCostPlanning(false) did not stick")
+	}
+	for i := 0; i < 16; i++ {
+		e.AddFact("edge", i, i+1)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.PlanCacheHits != 0 || s.PlanCacheMisses != 0 {
+		t.Fatalf("cost-off run must not touch the plan cache, stats %+v", s)
+	}
+
+	e.SetCostPlanning(true)
+	if !e.CostPlanningEnabled() {
+		t.Fatal("SetCostPlanning(true) did not stick")
+	}
+	e.AddFact("edge", 100, 101)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.PlanCacheMisses == 0 {
+		t.Fatalf("first cost-on run should compile plans, stats %+v", s)
+	}
+}

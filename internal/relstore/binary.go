@@ -28,8 +28,21 @@ import (
 // retraction machinery keep working across a snapshot/restore cycle.
 
 // binaryMagic identifies a database-level binary export; the trailing digit is
-// the format version.
-const binaryMagic = "RSB1"
+// the format version. Version 2 extends each relation's header with its
+// statistics state (stats epoch + drift markers, see stats.go) so cost-planner
+// inputs survive snapshot round-trips; version 1 payloads (no stats section)
+// are still imported for snapshots written before the extension.
+const (
+	binaryMagic   = "RSB2"
+	binaryMagicV1 = "RSB1"
+)
+
+// Per-relation payload versions, threaded through the importer so a database
+// envelope's magic decides how each relation is decoded.
+const (
+	binaryVersion1 = 1
+	binaryVersion2 = 2
+)
 
 // Decoding sanity caps: a corrupt length prefix must not make the importer
 // attempt an absurd allocation. Payloads are small (relation names, column
@@ -141,9 +154,11 @@ type supportedTuple struct {
 	derived int
 }
 
-// ExportBinary writes one relation — schema, tuples and support records — to
-// w. Tuples are written in canonical sorted order, so equal relation contents
-// produce byte-identical exports.
+// ExportBinary writes one relation — schema, statistics state, tuples and
+// support records — to w. Tuples are written in canonical sorted order, so
+// exports are byte-identical for equal relation contents and equal statistics
+// state (the stats epoch and drift markers depend on mutation history, not
+// just on the final tuple set).
 func ExportBinary(r *Relation, w io.Writer) error {
 	rows := make([]supportedTuple, 0, r.Len())
 	r.ScanSupport(func(t Tuple, base bool, derived int) bool {
@@ -159,6 +174,12 @@ func ExportBinary(r *Relation, w io.Writer) error {
 	for _, c := range cols {
 		buf = appendString(buf, c.Name)
 		buf = append(buf, byte(c.Type))
+	}
+	epoch, markRows, markDistinct := r.statsMarkers()
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(markRows))
+	for _, d := range markDistinct {
+		buf = binary.AppendUvarint(buf, uint64(d))
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(rows)))
 	if _, err := w.Write(buf); err != nil {
@@ -191,9 +212,15 @@ func ExportBinary(r *Relation, w io.Writer) error {
 // database, creating the relation when absent (an existing relation must have
 // the same schema). Tuples restore with their support records: base tuples are
 // inserted as base facts and derivation counts are re-established, so
-// ClearDerived and Support behave exactly as on the exported relation.
+// ClearDerived and Support behave exactly as on the exported relation. The
+// statistics state restores too: distinct-count estimates rebuild from the
+// inserted tuples and the exported drift markers are reinstated, so the stats
+// epoch keeps invalidating cached plans exactly as on the exported relation.
 func ImportBinary(d *Database, rd io.Reader) (*Relation, error) {
-	br := asByteReader(rd)
+	return importBinary(d, asByteReader(rd), binaryVersion2)
+}
+
+func importBinary(d *Database, br byteReader, version int) (*Relation, error) {
 	name, err := readString(br)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: binary import: reading relation name: %w", err)
@@ -203,11 +230,22 @@ func ImportBinary(d *Database, rd io.Reader) (*Relation, error) {
 		return nil, fmt.Errorf("relstore: binary import of %s: reading arity: %w", name, err)
 	}
 	cols := make([]Column, arity)
+	seenCols := make(map[string]bool, arity)
 	for i := range cols {
 		cname, err := readString(br)
 		if err != nil {
 			return nil, fmt.Errorf("relstore: binary import of %s: reading column: %w", name, err)
 		}
+		// Validate here rather than letting NewSchema panic: column names in
+		// the stream are untrusted input, and corruption must surface as an
+		// error.
+		if cname == "" {
+			return nil, fmt.Errorf("relstore: binary import of %s: empty column name", name)
+		}
+		if seenCols[cname] {
+			return nil, fmt.Errorf("relstore: binary import of %s: duplicate column %q", name, cname)
+		}
+		seenCols[cname] = true
 		tb, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("relstore: binary import of %s: reading column type: %w", name, err)
@@ -221,6 +259,26 @@ func ImportBinary(d *Database, rd io.Reader) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	var statsEpoch, statsRows uint64
+	var statsDistinct []int
+	if version >= binaryVersion2 {
+		statsEpoch, err = readUvarint(br, 1<<40)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: binary import of %s: reading stats epoch: %w", name, err)
+		}
+		statsRows, err = readUvarint(br, 1<<40)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: binary import of %s: reading stats row marker: %w", name, err)
+		}
+		statsDistinct = make([]int, arity)
+		for i := range statsDistinct {
+			v, err := readUvarint(br, 1<<40)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: binary import of %s: reading stats distinct marker: %w", name, err)
+			}
+			statsDistinct[i] = int(v)
+		}
+	}
 	count, err := readUvarint(br, 1<<40)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: binary import of %s: reading tuple count: %w", name, err)
@@ -232,7 +290,10 @@ func ImportBinary(d *Database, rd io.Reader) (*Relation, error) {
 		}
 		derived := uint64(0)
 		if flags&2 != 0 {
-			derived, err = readUvarint(br, 1<<40)
+			// Derivation counts are stored as int32; a larger claim cannot
+			// come from a real export and is rejected as corruption (it also
+			// must never size a restore loop — see insertWithSupport).
+			derived, err = readUvarint(br, math.MaxInt32)
 			if err != nil {
 				return nil, fmt.Errorf("relstore: binary import of %s: reading derivation count: %w", name, err)
 			}
@@ -245,16 +306,14 @@ func ImportBinary(d *Database, rd io.Reader) (*Relation, error) {
 			}
 			t[c] = v
 		}
-		if flags&1 != 0 {
-			if _, err := rel.Insert(t); err != nil {
+		if flags&1 != 0 || derived > 0 {
+			if _, err := rel.insertWithSupport(t, flags&1 != 0, int32(derived)); err != nil {
 				return nil, fmt.Errorf("relstore: binary import of %s: %w", name, err)
 			}
 		}
-		for j := uint64(0); j < derived; j++ {
-			if _, err := rel.InsertDerived(t); err != nil {
-				return nil, fmt.Errorf("relstore: binary import of %s: %w", name, err)
-			}
-		}
+	}
+	if version >= binaryVersion2 {
+		rel.restoreStatsMarkers(statsEpoch, int(statsRows), statsDistinct)
 	}
 	return rel, nil
 }
@@ -299,8 +358,14 @@ func ImportDatabaseBinary(d *Database, rd io.Reader) ([]string, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("relstore: binary import: reading magic: %w", err)
 	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("relstore: binary import: bad magic %q (want %q)", magic, binaryMagic)
+	version := 0
+	switch string(magic) {
+	case binaryMagic:
+		version = binaryVersion2
+	case binaryMagicV1:
+		version = binaryVersion1
+	default:
+		return nil, fmt.Errorf("relstore: binary import: bad magic %q (want %q or %q)", magic, binaryMagic, binaryMagicV1)
 	}
 	count, err := readUvarint(br, 1<<20)
 	if err != nil {
@@ -308,7 +373,7 @@ func ImportDatabaseBinary(d *Database, rd io.Reader) ([]string, error) {
 	}
 	names := make([]string, 0, count)
 	for i := uint64(0); i < count; i++ {
-		rel, err := ImportBinary(d, br)
+		rel, err := importBinary(d, br, version)
 		if err != nil {
 			return nil, err
 		}

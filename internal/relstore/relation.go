@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // index is a hash index over one or more columns, bucketing the stored
@@ -21,8 +22,12 @@ type index struct {
 	overflow map[uint64][]Tuple
 }
 
-func newIndex(cols []int) *index {
-	return &index{cols: cols, first: make(map[uint64]Tuple), overflow: make(map[uint64][]Tuple)}
+// newIndex allocates an index sized for the expected number of tuples, so
+// building over an existing relation (the common case: auto-indexing fires
+// once a join shape recurs) pays no incremental map growth — the planner-side
+// half of hash-join build-side pre-sizing.
+func newIndex(cols []int, sizeHint int) *index {
+	return &index{cols: cols, first: make(map[uint64]Tuple, sizeHint), overflow: make(map[uint64][]Tuple)}
 }
 
 // probe calls fn for every tuple in the bucket of hash h, in insertion order
@@ -178,6 +183,15 @@ type Relation struct {
 	count    int
 	indexes  map[string]*index // indexKey -> composite hash index
 	version  uint64
+	// colCounts holds one value-hash refcount map per column; len(map) is the
+	// column's distinct-count estimate. markRows/markDistinct capture the row
+	// count and estimates at the last statsEpoch advance — the drift reference
+	// points. statsEpoch is atomic so planners poll it without the lock. See
+	// stats.go.
+	colCounts    []map[uint64]int32
+	markRows     int
+	markDistinct []int
+	statsEpoch   atomic.Uint64
 }
 
 // forEachLocked calls fn for every stored tuple until fn returns false.
@@ -197,13 +211,15 @@ func (r *Relation) forEachLocked(fn func(Tuple) bool) {
 
 // NewRelation creates an empty relation with the given name and schema.
 func NewRelation(name string, schema *Schema) *Relation {
-	return &Relation{
+	r := &Relation{
 		name:     name,
 		schema:   schema,
 		rows:     make(map[uint64]stored),
 		overflow: make(map[uint64][]stored),
 		indexes:  make(map[string]*index),
 	}
+	r.initStatsLocked()
+	return r
 }
 
 // Name returns the relation name.
@@ -262,7 +278,7 @@ func (r *Relation) CreateIndex(columns ...string) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ix := newIndex(cols)
+	ix := newIndex(cols, r.count)
 	r.forEachLocked(func(t Tuple) bool {
 		ix.insert(t)
 		return true
@@ -345,7 +361,7 @@ func (r *Relation) EnsureIndexAt(positions []int) error {
 	if _, ok := r.indexes[k]; ok {
 		return nil
 	}
-	ix := newIndex(append([]int(nil), positions...))
+	ix := newIndex(append([]int(nil), positions...), r.count)
 	r.forEachLocked(func(t Tuple) bool {
 		ix.insert(t)
 		return true
@@ -394,6 +410,48 @@ func (r *Relation) InsertDerived(t Tuple) (bool, error) {
 	return r.insertSupported(t, false)
 }
 
+// insertWithSupport restores a tuple with its full support record in one
+// step: base membership plus `derived` units of derivation count. It is the
+// binary importer's O(1) alternative to calling InsertDerived in a loop —
+// essential because the loop bound would come from untrusted stream bytes.
+func (r *Relation) insertWithSupport(t Tuple, base bool, derived int32) (bool, error) {
+	ct, err := r.schema.Coerce(t)
+	if err != nil {
+		return false, err
+	}
+	h := ct.Hash()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bump := func(s *stored) {
+		s.base = s.base || base
+		s.derived += derived
+	}
+	if fs, ok := r.rows[h]; ok {
+		if storedEqual(fs.t, ct) {
+			bump(&fs)
+			r.rows[h] = fs
+			return false, nil
+		}
+		bucket := r.overflow[h]
+		for i := range bucket {
+			if storedEqual(bucket[i].t, ct) {
+				bump(&bucket[i])
+				return false, nil
+			}
+		}
+		r.overflow[h] = append(bucket, stored{t: ct, base: base, derived: derived})
+	} else {
+		r.rows[h] = stored{t: ct, base: base, derived: derived}
+	}
+	r.count++
+	for _, ix := range r.indexes {
+		ix.insert(ct)
+	}
+	r.statsInsertLocked(ct)
+	r.version++
+	return true, nil
+}
+
 func (r *Relation) insertSupported(t Tuple, base bool) (bool, error) {
 	ct, err := r.schema.Coerce(t)
 	if err != nil {
@@ -438,6 +496,7 @@ func (r *Relation) insertSupported(t Tuple, base bool) (bool, error) {
 	for _, ix := range r.indexes {
 		ix.insert(ct)
 	}
+	r.statsInsertLocked(ct)
 	r.version++
 	return true, nil
 }
@@ -546,6 +605,7 @@ func (r *Relation) removeLocked(ct Tuple, decide func(*stored) bool) bool {
 	for _, ix := range r.indexes {
 		ix.remove(victim)
 	}
+	r.statsRemoveLocked(victim)
 	r.version++
 	return true
 }
@@ -608,6 +668,7 @@ func (r *Relation) ClearDerived() int {
 		}
 		return true
 	})
+	r.statsRebuildLocked()
 	r.version++
 	return removed
 }
@@ -927,12 +988,15 @@ func (r *Relation) Clear() {
 		ix.first = make(map[uint64]Tuple)
 		ix.overflow = make(map[uint64][]Tuple)
 	}
+	r.statsRebuildLocked()
 	r.version++
 }
 
 // Clone returns a deep copy of the relation; the clone carries the same
-// indexed column sets, rebuilt over the copied tuples, and preserves every
-// tuple's support record (base flag and derivation count).
+// indexed column sets, rebuilt over the copied tuples, preserves every
+// tuple's support record (base flag and derivation count), and inherits the
+// statistics state (distinct-count estimates, drift markers and stats epoch)
+// so a snapshot plans exactly like its source.
 func (r *Relation) Clone() *Relation {
 	r.mu.RLock()
 	colSets := make([][]int, 0, len(r.indexes))
@@ -944,11 +1008,14 @@ func (r *Relation) Clone() *Relation {
 		entries = append(entries, s)
 		entries = append(entries, r.overflow[h]...)
 	}
+	markRows := r.markRows
+	markDistinct := append([]int(nil), r.markDistinct...)
+	epoch := r.statsEpoch.Load()
 	r.mu.RUnlock()
 
 	c := NewRelation(r.name, r.schema)
 	for _, cols := range colSets {
-		c.indexes[indexKey(cols)] = newIndex(cols)
+		c.indexes[indexKey(cols)] = newIndex(cols, len(entries))
 	}
 	for _, s := range entries {
 		h := s.t.Hash()
@@ -961,7 +1028,13 @@ func (r *Relation) Clone() *Relation {
 		for _, ix := range c.indexes {
 			ix.insert(s.t)
 		}
+		for i := range s.t {
+			c.colCounts[i][s.t[i].Hash()]++
+		}
 	}
+	c.markRows = markRows
+	copy(c.markDistinct, markDistinct)
+	c.statsEpoch.Store(epoch)
 	c.version = 0
 	return c
 }
