@@ -39,10 +39,25 @@ func main() {
 		demo           = flag.Bool("demo", true, "register the demo labeling project at startup")
 		popSize        = flag.Int("population", 25, "simulated worker population backing the web UI")
 		seed           = flag.Int64("seed", 1, "crowd simulator seed")
+		backend        = flag.String("backend", "", "relstore backend for project engines: memory or disk (default $CYLOG_BACKEND, else memory)")
+		dataDir        = flag.String("data", "", "root directory for disk-backed relation segments (default $CYLOG_BACKEND_DIR, else per-project temp dirs)")
+		memBudget      = flag.Int64("mem-budget", 0, "disk backend residency budget in bytes (0 = default)")
 	)
 	flag.Parse()
 
 	p := platform.New()
+	// platform.New seeds storage from the environment; flags win over it.
+	storage := p.Storage()
+	if *backend != "" {
+		storage.Backend = *backend
+	}
+	if *dataDir != "" {
+		storage.Dir = *dataDir
+	}
+	if *memBudget > 0 {
+		storage.BudgetBytes = *memBudget
+	}
+	p.SetStorage(storage)
 	crowd := crowdsim.New(crowdsim.DefaultConfig(*seed), p.Workers)
 	crowd.GeneratePopulation(crowdsim.DefaultPopulation(*popSize))
 
@@ -65,8 +80,12 @@ func main() {
 	})
 	defer srv.Close()
 
-	fmt.Fprintf(os.Stderr, "crowdserve: serving API + web UI on http://%s (queue %d, commit every %s)\n",
-		*addr, *queue, *commitInterval)
+	backendName := storage.Backend
+	if backendName == "" {
+		backendName = "memory"
+	}
+	fmt.Fprintf(os.Stderr, "crowdserve: serving API + web UI on http://%s (queue %d, commit every %s, backend %s)\n",
+		*addr, *queue, *commitInterval, backendName)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdserve:", err)
 		os.Exit(1)

@@ -128,6 +128,11 @@ type scenario struct {
 	// the tuple values.
 	content bool
 	salt    int64
+	// backend selects the relstore backend for this run ("" = memory). The
+	// parent's reference run always uses memory, so a disk-backed crash +
+	// recovery must land on a fingerprint byte-identical to the memory
+	// backend's — the storage seam adds no observable semantics.
+	backend string
 }
 
 // label picks this request's adversarial answer value as a pure function of
@@ -158,6 +163,11 @@ func (s scenario) oracle(keyVals string) (answer bool, ok bool) {
 func (s scenario) run() (string, int, error) {
 	p := platform.New()
 	p.SetClock(func() time.Time { return time.Date(2016, 9, 5, 9, 0, 0, 0, time.UTC) })
+	if s.backend != "" {
+		// A deliberately tiny budget so even this small scenario pages
+		// relations in and out while crash-killing and recovering.
+		p.SetStorage(platform.StorageOptions{Backend: s.backend, Dir: s.dir + "-store", BudgetBytes: 1 << 14})
+	}
 	source := crowdCyLog
 	if s.content {
 		source = contentCyLog
@@ -305,13 +315,14 @@ func main() {
 		killAt      = flag.Int("kill-write", 0, "self-kill before this WAL write (child mode)")
 		contentFuzz = flag.Bool("content-fuzz", false, "fuzz answer values: adversarial string labels per iteration, stats included in the differential")
 		contentSalt = flag.Int64("content-salt", 0, "content-fuzz label salt (child mode)")
+		backend     = flag.String("backend", "", "relstore backend for crash+recovery runs: memory or disk (parent mode: \"\" cycles both across iterations; references always run on memory)")
 	)
 	flag.Parse()
 
 	if *child {
 		s := scenario{dir: *dir, seed: *seed, edges: *edges,
 			policy: wal.SyncPolicy(*policyFlag), snapEvery: *snapEvery, shards: *shards, killAt: *killAt,
-			content: *contentFuzz, salt: *contentSalt}
+			content: *contentFuzz, salt: *contentSalt, backend: *backend}
 		digest, writes, err := s.run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "walcheck child:", err)
@@ -321,7 +332,7 @@ func main() {
 		return
 	}
 
-	if err := drive(*seed, *edges, *iterations, *shards, *contentFuzz); err != nil {
+	if err := drive(*seed, *edges, *iterations, *shards, *contentFuzz, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "walcheck: FAIL:", err)
 		os.Exit(1)
 	}
@@ -332,8 +343,11 @@ func main() {
 // the engine shard count for every run; 0 cycles 1, 2, 4 across iterations so
 // the default CI invocation covers recovery into sharded fixpoints too.
 // content switches every run to the content-fuzz scenario with a fresh label
-// salt per iteration.
-func drive(seed int64, edges, iterations, shards int, content bool) error {
+// salt per iteration. backend pins the relstore backend for the crash and
+// recovery runs; "" cycles memory and disk so the default CI invocation also
+// proves disk-backed recovery lands on the memory backend's exact
+// fingerprint (references always run on memory — that is the differential).
+func drive(seed int64, edges, iterations, shards int, content bool, backend string) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -353,6 +367,10 @@ func drive(seed int64, edges, iterations, shards int, content bool) error {
 			iterShards = []int{1, 2, 4}[iter%3]
 		}
 		salt := rng.Int63()
+		iterBackend := backend
+		if iterBackend == "" {
+			iterBackend = []string{"memory", "disk"}[iter%2]
+		}
 		iterDir := fmt.Sprintf("%s/iter%d", root, iter)
 
 		// Reference: the uninterrupted run under this iteration's exact
@@ -376,6 +394,7 @@ func drive(seed int64, edges, iterations, shards int, content bool) error {
 			"-policy", fmt.Sprint(int(policy)), "-snapshot-every", fmt.Sprint(snapEvery),
 			"-shards", fmt.Sprint(iterShards),
 			"-kill-write", fmt.Sprint(kill),
+			"-backend", iterBackend,
 		}
 		if content {
 			args = append(args, "-content-fuzz", "-content-salt", fmt.Sprint(salt))
@@ -393,18 +412,18 @@ func drive(seed int64, edges, iterations, shards int, content bool) error {
 		// Recover in this process from whatever the kill left behind and
 		// resume the identical scenario to quiescence.
 		resume := scenario{dir: crashDir, seed: seed, edges: edges, policy: policy, snapEvery: snapEvery, shards: iterShards,
-			content: content, salt: salt}
+			content: content, salt: salt, backend: iterBackend}
 		gotDigest, _, err := resume.run()
 		if err != nil {
 			return fmt.Errorf("iteration %d: recovery after kill at write %d/%d (policy=%s snapshot-every=%d): %w",
 				iter, kill, refWrites, policy, snapEvery, err)
 		}
 		if gotDigest != refDigest {
-			return fmt.Errorf("iteration %d: recovered digest %s != reference %s (seed=%d kill=%d/%d policy=%s snapshot-every=%d shards=%d)",
-				iter, gotDigest[:12], refDigest[:12], seed, kill, refWrites, policy, snapEvery, iterShards)
+			return fmt.Errorf("iteration %d: recovered digest %s != reference %s (seed=%d kill=%d/%d policy=%s snapshot-every=%d shards=%d backend=%s)",
+				iter, gotDigest[:12], refDigest[:12], seed, kill, refWrites, policy, snapEvery, iterShards, iterBackend)
 		}
-		fmt.Printf("walcheck: iteration %d ok — killed at write %d/%d, policy=%s, snapshot-every=%d, shards=%d, digest %s\n",
-			iter, kill, refWrites, policy, snapEvery, iterShards, refDigest[:12])
+		fmt.Printf("walcheck: iteration %d ok — killed at write %d/%d, policy=%s, snapshot-every=%d, shards=%d, backend=%s, digest %s\n",
+			iter, kill, refWrites, policy, snapEvery, iterShards, iterBackend, refDigest[:12])
 	}
 	mode := "answers"
 	if content {

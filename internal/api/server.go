@@ -103,6 +103,7 @@ func NewServer(p *platform.Platform, opts Options) *Server {
 	s.mux.HandleFunc("GET /api/v1/projects", s.handleProjectList)
 	s.mux.HandleFunc("POST /api/v1/projects", s.handleProjectCreate)
 	s.mux.HandleFunc("GET /api/v1/projects/{id}", s.handleProjectStatus)
+	s.mux.HandleFunc("PATCH /api/v1/projects/{id}", s.handleProjectUpdate)
 	s.mux.HandleFunc("GET /api/v1/projects/{id}/tasks", s.handleTaskFeed)
 	s.mux.HandleFunc("POST /api/v1/projects/{id}/answers", s.handleAnswer)
 	s.mux.HandleFunc("POST /api/v1/projects/{id}/facts", s.handleFact)
@@ -134,24 +135,38 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// deriveLoop is the background fixpoint pump: every CommitInterval it
-// commits one round for each project with staged answers. One loop serves
-// every project, so commits for different projects are serialized — matching
-// the single-writer WAL discipline — while staging stays fully concurrent.
+// deriveLoop is the background fixpoint pump: every CommitInterval tick it
+// commits one round for each project with staged answers whose own cadence
+// has elapsed. A project may override the server-wide interval through
+// Description.CommitInterval (POST/PATCH carry it as commit_interval_ms);
+// overrides are rounded up to the tick granularity, since the base ticker is
+// the only clock. One loop serves every project, so commits for different
+// projects are serialized — matching the single-writer WAL discipline —
+// while staging stays fully concurrent.
 func (s *Server) deriveLoop() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.opts.CommitInterval)
 	defer ticker.Stop()
+	lastCommit := make(map[project.ID]time.Time)
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-ticker.C:
+		case now := <-ticker.C:
 			for _, a := range s.p.Projects.All() {
 				id := a.Description.ID
 				if s.p.Engine(id) == nil || s.p.StagedAnswers(id) == 0 {
 					continue
 				}
+				if iv := a.Description.CommitInterval; iv > s.opts.CommitInterval {
+					// Half a tick of slack so an interval that is an exact
+					// multiple of the tick fires on its own tick instead of
+					// slipping one further on scheduler jitter.
+					if last, ok := lastCommit[id]; ok && now.Sub(last) < iv-s.opts.CommitInterval/2 {
+						continue
+					}
+				}
+				lastCommit[id] = now
 				if _, err := s.p.CommitRound(id); err != nil {
 					// Record through the platform event log, not the hub
 					// directly: the failure must reach the durable audit
@@ -183,6 +198,8 @@ type (
 	WALStatus            = wire.WALStatus
 	ProjectStatus        = wire.ProjectStatus
 	CreateProjectRequest = wire.CreateProjectRequest
+	UpdateProjectRequest = wire.UpdateProjectRequest
+	StorageStatus        = wire.StorageStatus
 	EventMessage         = wire.EventMessage
 	errorBody            = wire.ErrorBody
 )
@@ -216,11 +233,13 @@ func (s *Server) handleProjectCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	admin, err := s.p.RegisterProject(project.Description{
-		ID:          project.ID(req.ID),
-		Name:        req.Name,
-		Requester:   req.Requester,
-		Summary:     req.Summary,
-		CyLogSource: req.CyLog,
+		ID:             project.ID(req.ID),
+		Name:           req.Name,
+		Requester:      req.Requester,
+		Summary:        req.Summary,
+		CyLogSource:    req.CyLog,
+		Storage:        req.Backend,
+		CommitInterval: time.Duration(req.CommitIntervalMS) * time.Millisecond,
 	})
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Code: "invalid-project", Error: err.Error()})
@@ -254,17 +273,60 @@ func (s *Server) handleProjectStatus(w http.ResponseWriter, r *http.Request) {
 	if ws, ok := s.p.WALStats(id); ok {
 		st.WAL = &WALStatus{Appends: ws.Appends, Snapshots: ws.Snapshots, LastSeq: ws.LastSeq}
 	}
+	if bs, ok := s.p.BackendStats(id); ok {
+		st.Storage = &StorageStatus{
+			Backend:           bs.Backend,
+			Relations:         bs.Relations,
+			ResidentRelations: bs.ResidentRelations,
+			ResidentBytes:     bs.ResidentBytes,
+			BudgetBytes:       bs.BudgetBytes,
+			Faults:            bs.Faults,
+			Evictions:         bs.Evictions,
+			SegmentWrites:     bs.SegmentWrites,
+			SegmentBytes:      bs.SegmentBytes,
+		}
+	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleProjectUpdate applies the mutable slice of a project's description;
+// today that is the commit-cadence override. Absent fields are left alone.
+func (s *Server) handleProjectUpdate(w http.ResponseWriter, r *http.Request) {
+	id := project.ID(r.PathValue("id"))
+	var req UpdateProjectRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Code: "bad-json", Error: err.Error()})
+		return
+	}
+	admin, ok := s.p.Projects.Get(id)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %s", project.ErrUnknownProject, id))
+		return
+	}
+	if req.CommitIntervalMS != nil {
+		if *req.CommitIntervalMS < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Code: "bad-request", Error: "commit_interval_ms must be non-negative"})
+			return
+		}
+		var err error
+		admin, err = s.p.Projects.SetCommitInterval(id, time.Duration(*req.CommitIntervalMS)*time.Millisecond)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.projectSummary(admin))
 }
 
 func (s *Server) projectSummary(a *project.Admin) ProjectStatus {
 	id := a.Description.ID
 	st := ProjectStatus{
-		ID:        string(id),
-		Name:      a.Description.Name,
-		Status:    string(a.Status),
-		Requester: a.Description.Requester,
-		Summary:   a.Description.Summary,
+		ID:               string(id),
+		Name:             a.Description.Name,
+		Status:           string(a.Status),
+		Requester:        a.Description.Requester,
+		Summary:          a.Description.Summary,
+		CommitIntervalMS: a.Description.CommitInterval.Milliseconds(),
 	}
 	if eng := s.p.Engine(id); eng != nil {
 		st.HasEngine = true

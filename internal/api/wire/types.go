@@ -102,19 +102,38 @@ type WALStatus struct {
 	LastSeq   uint64 `json:"last_seq"`
 }
 
+// StorageStatus describes the relstore backend behind a project's engine:
+// which backend it is and, for the disk backend, how the residency budget is
+// being spent (resident vs paged relations, fault/eviction counters).
+type StorageStatus struct {
+	Backend           string `json:"backend"`
+	Relations         int    `json:"relations"`
+	ResidentRelations int    `json:"resident_relations"`
+	ResidentBytes     int64  `json:"resident_bytes,omitempty"`
+	BudgetBytes       int64  `json:"budget_bytes,omitempty"`
+	Faults            int64  `json:"faults,omitempty"`
+	Evictions         int64  `json:"evictions,omitempty"`
+	SegmentWrites     int64  `json:"segment_writes,omitempty"`
+	SegmentBytes      int64  `json:"segment_bytes,omitempty"`
+}
+
 // ProjectStatus is the response of GET /api/v1/projects/{id} (and, without
 // Queue/Stats/WAL detail, the element type of the project list).
 type ProjectStatus struct {
-	ID              string       `json:"id"`
-	Name            string       `json:"name"`
-	Status          string       `json:"status"`
-	Requester       string       `json:"requester,omitempty"`
-	Summary         string       `json:"summary,omitempty"`
-	HasEngine       bool         `json:"has_engine"`
-	PendingRequests int          `json:"pending_requests"`
-	Queue           *QueueStatus `json:"queue,omitempty"`
-	Stats           *StatsView   `json:"stats,omitempty"`
-	WAL             *WALStatus   `json:"wal,omitempty"`
+	ID              string `json:"id"`
+	Name            string `json:"name"`
+	Status          string `json:"status"`
+	Requester       string `json:"requester,omitempty"`
+	Summary         string `json:"summary,omitempty"`
+	HasEngine       bool   `json:"has_engine"`
+	PendingRequests int    `json:"pending_requests"`
+	// CommitIntervalMS is the project's background-commit cadence override
+	// (0 = the server-wide interval).
+	CommitIntervalMS int64          `json:"commit_interval_ms,omitempty"`
+	Queue            *QueueStatus   `json:"queue,omitempty"`
+	Stats            *StatsView     `json:"stats,omitempty"`
+	WAL              *WALStatus     `json:"wal,omitempty"`
+	Storage          *StorageStatus `json:"storage,omitempty"`
 }
 
 // CreateProjectRequest is the body of POST /api/v1/projects.
@@ -126,4 +145,19 @@ type CreateProjectRequest struct {
 	// CyLog is the project's declarative description; required for projects
 	// that serve a task feed (an engine is built from it at registration).
 	CyLog string `json:"cylog,omitempty"`
+	// Backend overrides the platform-wide relstore backend for this project:
+	// "" (platform default), "memory" or "disk".
+	Backend string `json:"backend,omitempty"`
+	// CommitIntervalMS overrides the server's background-commit cadence for
+	// this project, in milliseconds (0 = server default). Overrides are
+	// rounded up to the deriver's tick granularity.
+	CommitIntervalMS int64 `json:"commit_interval_ms,omitempty"`
+}
+
+// UpdateProjectRequest is the body of PATCH /api/v1/projects/{id}. Only
+// non-nil fields are applied.
+type UpdateProjectRequest struct {
+	// CommitIntervalMS replaces the project's commit-cadence override in
+	// milliseconds; 0 returns the project to the server-wide interval.
+	CommitIntervalMS *int64 `json:"commit_interval_ms,omitempty"`
 }

@@ -3,6 +3,8 @@ package cylog
 import (
 	"fmt"
 	"testing"
+
+	"github.com/crowd4u/crowd4u-go/internal/relstore"
 )
 
 // Benchmarks for the evaluation pipeline. Configurations compared:
@@ -415,4 +417,71 @@ func BenchmarkOracleLoopSharded(b *testing.B) {
 		b.Run(fmt.Sprintf("shards%d-1k", shards), func(b *testing.B) { benchOracleLoopSharded(b, 1000, 10, shards) })
 		b.Run(fmt.Sprintf("shards%d-10k", shards), func(b *testing.B) { benchOracleLoopSharded(b, 10000, 100, shards) })
 	}
+}
+
+// benchOracleLoopDisk is the oracle loop on a storage backend: the same
+// incremental, insert-only crowd rounds as BenchmarkOracleLoop/incremental,
+// but the engine's database is opened through the relstore Backend seam. The
+// "memory" variant is the seam-overhead reference (it must track the plain
+// incremental numbers — the hot join path never crosses the interface). The
+// "disk" variant opens a budget small enough that the base relations are
+// evicted cold before the loop starts and a Maintain pass runs after every
+// answered round, so the measurement includes segment writes, fault-ins and
+// residency rebalancing — the steady-state cost of running the crowd loop on
+// state larger than memory.
+func benchOracleLoopDisk(b *testing.B, edges, wave int, backend string) {
+	b.Helper()
+	b.ReportAllocs()
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, err := relstore.OpenBackend(backend, relstore.DiskOptions{Dir: dir, BudgetBytes: 4 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := NewEngineWith(MustParse(crowdTCProgram), relstore.NewDatabaseWith(db))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetRetraction(false)
+		e.SetParallelism(1)
+		e.SetIncrementalAnswering(true)
+		loadCrowdTC(e, edges)
+		maintain := func() {
+			if err := e.Database().Backend().Maintain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		maintain() // page the cold base relations out before the loop starts
+		b.StartTimer()
+		if _, err := e.RunToFixpointWithOracle(waveOracle(wave), 1000); err != nil {
+			b.Fatal(err)
+		}
+		maintain()
+		b.StopTimer()
+		if got := len(e.Facts("approved")); got != edges/10 {
+			b.Fatalf("approved = %d facts, want %d", got, edges/10)
+		}
+		s := e.Database().Backend().Stats()
+		if backend == "disk" {
+			if s.Evictions == 0 || s.Faults == 0 {
+				b.Fatalf("disk loop paged nothing: %+v", s)
+			}
+			if s.ResidentBytes > s.BudgetBytes {
+				b.Fatalf("resident %d bytes exceeds budget %d after Maintain", s.ResidentBytes, s.BudgetBytes)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOracleLoopDiskBackend prices the storage seam on the crowd loop:
+// backend-memory is the interface-overhead reference (gated tight — the seam
+// must be free on the hot path), backend-disk is the paging cost under a
+// 4 KiB budget with cold-start eviction. BENCH_cylog.json records the
+// baselines.
+func BenchmarkOracleLoopDiskBackend(b *testing.B) {
+	b.Run("backend-memory-1k", func(b *testing.B) { benchOracleLoopDisk(b, 1000, 10, "memory") })
+	b.Run("backend-disk-1k", func(b *testing.B) { benchOracleLoopDisk(b, 1000, 10, "disk") })
+	b.Run("backend-disk-10k", func(b *testing.B) { benchOracleLoopDisk(b, 10000, 100, "disk") })
 }

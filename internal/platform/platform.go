@@ -84,6 +84,9 @@ type Platform struct {
 	wals   map[project.ID]*walBinding
 	events []Event
 	nowFn  func() time.Time
+	// storage selects the relstore backend new project engines are built on
+	// (see storage.go); projects may override it per-description.
+	storage StorageOptions
 	// subs are the event sinks registered by Subscribe, keyed by a token the
 	// cancel closure deletes.
 	subs    map[int]func(Event)
@@ -111,6 +114,7 @@ func New() *Platform {
 		nextRound:   make(map[project.ID]uint64),
 		commits:     make(map[project.ID]*sync.Mutex),
 		nowFn:       time.Now,
+		storage:     DefaultStorageFromEnv(),
 	}
 }
 
@@ -183,7 +187,11 @@ func (p *Platform) RegisterProject(d project.Description) (*project.Admin, error
 		if err != nil {
 			return nil, err
 		}
-		eng, err := cylog.NewEngine(prog)
+		db, err := p.newDatabaseFor(id, admin.Description.Storage)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cylog.NewEngineWith(prog, db)
 		if err != nil {
 			return nil, err
 		}

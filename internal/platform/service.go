@@ -230,6 +230,10 @@ func (p *Platform) CommitRound(projectID project.ID) (RoundCommit, error) {
 	if err := p.persistRound(projectID, eng); err != nil {
 		return rc, err
 	}
+	// With the round durable, let the backend enforce its residency policy
+	// (the disk backend pages cold relations out between rounds; memory is a
+	// no-op). Best-effort: failures become events, not commit failures.
+	p.maintainBackend(projectID, eng)
 	rc.Duration = time.Since(start)
 	p.record(Event{Kind: "fixpoint", Project: projectID, Round: seq,
 		Message: fmt.Sprintf("%d answers (%d skipped), %d pending requests, %s",

@@ -63,6 +63,12 @@ type Description struct {
 	Factors DesiredFactors
 	// TaskForm is the default form presented to workers for project tasks.
 	TaskForm task.Form
+	// Storage overrides the platform-wide relstore backend for this
+	// project's engine: "" (platform default), "memory" or "disk".
+	Storage string
+	// CommitInterval overrides the service layer's background deriver
+	// cadence for this project (0 = use the server-wide interval).
+	CommitInterval time.Duration
 	// CreatedAt is when the project was registered.
 	CreatedAt time.Time
 }
@@ -93,6 +99,14 @@ func (d *Description) Validate() error {
 	}
 	if d.Factors.RecruitmentWindow < 0 {
 		errs = append(errs, "recruitment window must be non-negative")
+	}
+	switch d.Storage {
+	case "", "memory", "disk":
+	default:
+		errs = append(errs, fmt.Sprintf("unknown storage backend %q (want memory or disk)", d.Storage))
+	}
+	if d.CommitInterval < 0 {
+		errs = append(errs, "commit interval must be non-negative")
 	}
 	if d.CyLogSource != "" {
 		prog, err := cylog.Parse(d.CyLogSource)
@@ -237,6 +251,24 @@ func (r *Registry) UpdateFactors(id ID, f DesiredFactors) (*Admin, error) {
 		return nil, err
 	}
 	a.Description = d
+	return cloneAdmin(a), nil
+}
+
+// SetCommitInterval replaces the project's commit-cadence override (0 =
+// server default) and returns the updated admin record. The deriver loop in
+// internal/api reads the override on every tick, so the change takes effect
+// at the next tick without restarting anything.
+func (r *Registry) SetCommitInterval(id ID, iv time.Duration) (*Admin, error) {
+	if iv < 0 {
+		return nil, fmt.Errorf("project: commit interval must be non-negative")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.projects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProject, id)
+	}
+	a.Description.CommitInterval = iv
 	return cloneAdmin(a), nil
 }
 

@@ -2,6 +2,7 @@ package relstore
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -9,14 +10,48 @@ import (
 // Database is a named collection of relations. It is the unit the CyLog engine
 // and the Crowd4U platform operate on. All methods are safe for concurrent
 // use; individual relations carry their own finer-grained locks.
+//
+// Every database owns exactly one storage Backend (see backend.go) that
+// decides where relation contents live. NewDatabase wires the classic
+// in-memory store; NewDatabaseWith picks another (e.g. the disk-paged one).
 type Database struct {
 	mu        sync.RWMutex
 	relations map[string]*Relation
+	backend   Backend
 }
 
-// NewDatabase creates an empty database.
+// NewDatabase creates an empty database over the in-memory backend — the
+// historical behavior, byte-for-byte.
 func NewDatabase() *Database {
-	return &Database{relations: make(map[string]*Relation)}
+	return NewDatabaseWith(NewMemoryBackend())
+}
+
+// NewDatabaseWith creates an empty database whose relations are stored by the
+// given backend. The backend must be fresh: backends are single-database and
+// attach panics on reuse.
+func NewDatabaseWith(b Backend) *Database {
+	d := &Database{relations: make(map[string]*Relation), backend: b}
+	b.attach(d)
+	return d
+}
+
+// Backend returns the database's storage backend.
+func (d *Database) Backend() Backend { return d.backend }
+
+// ExportSnapshot writes the named relations (all relations when names is nil)
+// as a database-level binary export (RSB2 envelope) through the backend, which
+// may stream paged-out relations straight from their segments instead of
+// materializing them. The bytes are identical to ExportDatabaseBinary for
+// equal contents regardless of backend.
+func (d *Database) ExportSnapshot(names []string, w io.Writer) error {
+	return d.backend.ExportSnapshot(names, w)
+}
+
+// ImportSnapshot reads a database-level binary export through the backend,
+// which may spill relations to secondary storage as they arrive instead of
+// keeping the whole set resident. It returns the imported relation names.
+func (d *Database) ImportSnapshot(rd io.Reader) ([]string, error) {
+	return d.backend.ImportSnapshot(rd)
 }
 
 // Create adds a new empty relation. It returns an error if a relation with the
@@ -27,7 +62,10 @@ func (d *Database) Create(name string, schema *Schema) (*Relation, error) {
 	if _, exists := d.relations[name]; exists {
 		return nil, fmt.Errorf("relstore: relation %q already exists", name)
 	}
-	r := NewRelation(name, schema)
+	r, err := d.backend.OpenRelation(name, schema)
+	if err != nil {
+		return nil, err
+	}
 	d.relations[name] = r
 	return r, nil
 }
@@ -53,7 +91,10 @@ func (d *Database) GetOrCreate(name string, schema *Schema) (*Relation, error) {
 		}
 		return r, nil
 	}
-	r := NewRelation(name, schema)
+	r, err := d.backend.OpenRelation(name, schema)
+	if err != nil {
+		return nil, err
+	}
 	d.relations[name] = r
 	return r, nil
 }
@@ -71,11 +112,13 @@ func (d *Database) Has(name string) bool { return d.Relation(name) != nil }
 // Drop removes the named relation. It reports whether a relation was removed.
 func (d *Database) Drop(name string) bool {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, exists := d.relations[name]; !exists {
+		d.mu.Unlock()
 		return false
 	}
 	delete(d.relations, name)
+	d.mu.Unlock()
+	d.backend.ReleaseRelation(name)
 	return true
 }
 

@@ -192,6 +192,101 @@ type Relation struct {
 	markRows     int
 	markDistinct []int
 	statsEpoch   atomic.Uint64
+
+	// pager, when non-nil, is the paging backend hook installed at creation
+	// by a Backend that can move this relation's contents between memory and
+	// secondary storage (see backend.go). Every content-touching public
+	// method calls page() first, so a paged-out relation faults back in
+	// transparently before any read or write. The field is written once at
+	// construction and never mutated, so the hot-path check is a single nil
+	// comparison — relations of the MemoryBackend (pager == nil) behave
+	// byte-for-byte like the pre-seam storage.
+	pager relationPager
+	// paged reports that the contents (tuple buckets, index contents,
+	// distinct-count maps) have been dropped and live only in the backend's
+	// segment file. Flipped only by the pager while holding mu; read
+	// lock-free on the fast path.
+	paged atomic.Bool
+	// lastTouch is the backend's logical clock value at the most recent
+	// access — the recent-touch accounting behind hot-relation pinning.
+	lastTouch atomic.Uint64
+}
+
+// page gives the paging backend its pre-access hook: it records the touch
+// and faults the contents back in when they are paged out. Relations without
+// a pager (the memory backend, engine-internal scratch relations) pay one
+// nil check.
+func (r *Relation) page() {
+	if r.pager != nil {
+		r.pager.ensure(r)
+	}
+}
+
+// dropContentsLocked empties the tuple buckets, index contents and
+// distinct-count maps, keeping the index *definitions*, the statistics
+// markers, the stats epoch and the version — everything a paged-out relation
+// must still answer without its contents. Caller holds the write lock and is
+// responsible for having persisted the contents first.
+func (r *Relation) dropContentsLocked() {
+	r.rows = make(map[uint64]stored)
+	r.overflow = make(map[uint64][]stored)
+	r.count = 0
+	for _, ix := range r.indexes {
+		ix.first = make(map[uint64]Tuple)
+		ix.overflow = make(map[uint64][]Tuple)
+	}
+	for i := range r.colCounts {
+		r.colCounts[i] = make(map[uint64]int32)
+	}
+}
+
+// adoptContentsLocked replaces the relation's contents with those of src — a
+// freshly decoded twin with identical name, schema and tuple set — and
+// rebuilds this relation's indexes over them. Statistics markers, epoch and
+// version are left untouched: a fault-in restores exactly the state that was
+// paged out, so nothing observable moves. Caller holds the write lock.
+func (r *Relation) adoptContentsLocked(src *Relation) {
+	r.rows = src.rows
+	r.overflow = src.overflow
+	r.count = src.count
+	r.colCounts = src.colCounts
+	for _, ix := range r.indexes {
+		ix.first = make(map[uint64]Tuple, r.count)
+		ix.overflow = make(map[uint64][]Tuple)
+	}
+	if len(r.indexes) > 0 {
+		r.forEachLocked(func(t Tuple) bool {
+			for _, ix := range r.indexes {
+				ix.insert(t)
+			}
+			return true
+		})
+	}
+}
+
+// approxBytes estimates the relation's resident heap footprint for the
+// backend's byte budget: per-entry bucket overhead plus value payloads plus
+// per-index entries. It deliberately bypasses page() — the backend sizes
+// resident relations without touching their recency accounting.
+func (r *Relation) approxBytes() int64 {
+	const entryOverhead = 48 // stored struct + map bucket share
+	const valueOverhead = 24 // Value struct share
+	const indexOverhead = 40 // tuple header in an index bucket
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b int64
+	r.forEachLocked(func(t Tuple) bool {
+		b += entryOverhead
+		for i := range t {
+			b += valueOverhead + int64(len(t[i].s))
+		}
+		return true
+	})
+	b += int64(r.count*len(r.indexes)) * indexOverhead
+	for _, m := range r.colCounts {
+		b += int64(len(m)) * 16
+	}
+	return b
 }
 
 // forEachLocked calls fn for every stored tuple until fn returns false.
@@ -231,6 +326,7 @@ func (r *Relation) Schema() *Schema { return r.schema }
 // Len returns the number of tuples (the relation's cardinality; query
 // planners use it as the base selectivity estimate).
 func (r *Relation) Len() int {
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.count
@@ -276,6 +372,7 @@ func (r *Relation) CreateIndex(columns ...string) error {
 	if err != nil {
 		return err
 	}
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ix := newIndex(cols, r.count)
@@ -355,6 +452,7 @@ func (r *Relation) EnsureIndexAt(positions []int) error {
 	if err := r.checkPositions(positions); err != nil {
 		return err
 	}
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	k := indexKey(positions)
@@ -420,6 +518,7 @@ func (r *Relation) insertWithSupport(t Tuple, base bool, derived int32) (bool, e
 		return false, err
 	}
 	h := ct.Hash()
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bump := func(s *stored) {
@@ -458,6 +557,7 @@ func (r *Relation) insertSupported(t Tuple, base bool) (bool, error) {
 		return false, err
 	}
 	h := ct.Hash()
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bump := func(s *stored) {
@@ -533,6 +633,7 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.removeLocked(ct, nil), nil
@@ -550,6 +651,7 @@ func (r *Relation) DecDerived(t Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.removeLocked(ct, func(s *stored) bool {
@@ -617,6 +719,7 @@ func (r *Relation) removeLocked(ct Tuple, decide func(*stored) bool) bool {
 // re-derives the survivors with fresh counts. Indexes are rebuilt over the
 // survivors.
 func (r *Relation) ClearDerived() int {
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	removed := 0
@@ -679,6 +782,7 @@ func (r *Relation) ClearDerived() int {
 // CyLog engine's retraction snapshots use — one pass instead of a per-tuple
 // Support probe.
 func (r *Relation) ScanSupport(fn func(t Tuple, base bool, derived int) bool) {
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for h, s := range r.rows {
@@ -701,6 +805,7 @@ func (r *Relation) Support(t Tuple) (base bool, derived int, ok bool) {
 	if err != nil {
 		return false, 0, false
 	}
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	h := ct.Hash()
@@ -744,6 +849,7 @@ func (r *Relation) Contains(t Tuple) bool {
 	if err != nil {
 		return false
 	}
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	h := ct.Hash()
@@ -762,6 +868,7 @@ func (r *Relation) Contains(t Tuple) bool {
 
 // All returns every tuple in deterministic (sorted) order.
 func (r *Relation) All() []Tuple {
+	r.page()
 	r.mu.RLock()
 	out := make([]Tuple, 0, r.count)
 	r.forEachLocked(func(t Tuple) bool {
@@ -776,6 +883,7 @@ func (r *Relation) All() []Tuple {
 // Scan calls fn for every tuple until fn returns false. Iteration order is
 // unspecified; fn must not call back into the relation's mutating methods.
 func (r *Relation) Scan(fn func(Tuple) bool) {
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	r.forEachLocked(fn)
@@ -874,6 +982,7 @@ func (r *Relation) ScanEqAt(positions []int, vals []Value, fn func(Tuple) bool) 
 		return true
 	}
 
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if ix := r.lookup(positions); ix != nil {
@@ -906,6 +1015,7 @@ func (r *Relation) ContainsAt(positions []int, vals []Value) (bool, error) {
 
 // Select returns every tuple satisfying pred, in deterministic order.
 func (r *Relation) Select(pred func(Tuple) bool) []Tuple {
+	r.page()
 	r.mu.RLock()
 	out := make([]Tuple, 0)
 	r.forEachLocked(func(t Tuple) bool {
@@ -959,6 +1069,7 @@ func (r *Relation) Project(columns ...string) ([]Tuple, error) {
 	}
 	seen := make(map[string]bool)
 	var out []Tuple
+	r.page()
 	r.mu.RLock()
 	r.forEachLocked(func(t Tuple) bool {
 		p := t.Project(positions...)
@@ -976,6 +1087,7 @@ func (r *Relation) Project(columns ...string) ([]Tuple, error) {
 
 // Clear removes all tuples. Indexes remain defined but empty.
 func (r *Relation) Clear() {
+	r.page()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.count == 0 {
@@ -998,6 +1110,7 @@ func (r *Relation) Clear() {
 // statistics state (distinct-count estimates, drift markers and stats epoch)
 // so a snapshot plans exactly like its source.
 func (r *Relation) Clone() *Relation {
+	r.page()
 	r.mu.RLock()
 	colSets := make([][]int, 0, len(r.indexes))
 	for _, ix := range r.indexes {

@@ -128,6 +128,7 @@ func (r *Relation) StatsEpoch() uint64 {
 // acceptable for selectivity estimation, which only needs the right order of
 // magnitude.
 func (r *Relation) ColumnDistinct(col int) int {
+	r.page()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if col < 0 || col >= len(r.colCounts) {

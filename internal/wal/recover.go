@@ -9,7 +9,6 @@ import (
 	"path/filepath"
 
 	"github.com/crowd4u/crowd4u-go/internal/cylog"
-	"github.com/crowd4u/crowd4u-go/internal/relstore"
 )
 
 // RecoveryStats describes the outcome of a Recover call.
@@ -116,5 +115,8 @@ func (l *Log) loadSnapshot(seq uint64, e *cylog.Engine) ([]string, error) {
 	if storedSeq != seq {
 		return nil, fmt.Errorf("wal: snapshot %s stores sequence %d", path, storedSeq)
 	}
-	return relstore.ImportDatabaseBinary(e.Database(), bytes.NewReader(rest[n:]))
+	// Import through the backend so a disk-backed database can spill
+	// relations to segments as they arrive instead of holding the whole
+	// snapshot resident.
+	return e.Database().ImportSnapshot(bytes.NewReader(rest[n:]))
 }

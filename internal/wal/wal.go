@@ -16,6 +16,7 @@ package wal
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -76,6 +77,13 @@ type Options struct {
 	// header and the payload of a record — the exact window that produces a
 	// torn tail under kill -9.
 	WriteObserver func(kind string, bytes int)
+	// CompressMin, when positive, flate-compresses record payloads of at
+	// least this many bytes. Compressed records carry their own frame type
+	// byte, so a log freely mixes compressed and raw records and logs
+	// written before compression existed replay unchanged. A compressed
+	// frame that would not shrink the record is discarded and the raw
+	// payload written instead.
+	CompressMin int
 }
 
 const (
@@ -85,6 +93,7 @@ const (
 	snapPrefix    = "snap-"
 	snapSuffix    = ".bin"
 	recBatch      = 0x01
+	recBatchFlate = 0x02 // flate-compressed recBatch: [type][uvarint rawLen][deflate bytes]
 	maxRecordSize = 1 << 28
 )
 
@@ -92,16 +101,17 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Stats describes a log's activity since Open.
 type Stats struct {
-	Dir              string
-	Policy           SyncPolicy
-	Appends          int    // records appended
-	AppendedOps      int    // operations inside appended records
-	AppendedBytes    int64  // bytes written to the log (headers + payloads)
-	Syncs            int    // fsyncs issued
-	Snapshots        int    // snapshots written
-	LastSeq          uint64 // sequence of the newest log record
-	SnapshotSeq      uint64 // sequence covered by the newest on-disk snapshot
-	TornBytesDropped int64  // trailing bytes discarded at Open
+	Dir               string
+	Policy            SyncPolicy
+	Appends           int    // records appended
+	AppendedOps       int    // operations inside appended records
+	AppendedBytes     int64  // bytes written to the log (headers + payloads)
+	CompressedAppends int    // appended records written as flate frames
+	Syncs             int    // fsyncs issued
+	Snapshots         int    // snapshots written
+	LastSeq           uint64 // sequence of the newest log record
+	SnapshotSeq       uint64 // sequence covered by the newest on-disk snapshot
+	TornBytesDropped  int64  // trailing bytes discarded at Open
 }
 
 // Log is an append-only write-ahead log plus its snapshot directory. Append,
@@ -257,6 +267,13 @@ func (l *Log) Append(ops []cylog.FactOp) (uint64, error) {
 	if len(payload) > maxRecordSize {
 		return l.lastSeq, fmt.Errorf("wal: record of %d bytes exceeds maximum", len(payload))
 	}
+	compressed := false
+	if l.opts.CompressMin > 0 && len(payload) >= l.opts.CompressMin {
+		if fr, ok := compressRecord(payload); ok {
+			payload = fr
+			compressed = true
+		}
+	}
 	header := make([]byte, 8)
 	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
@@ -268,6 +285,9 @@ func (l *Log) Append(ops []cylog.FactOp) (uint64, error) {
 	}
 	l.lastSeq = seq
 	l.stats.Appends++
+	if compressed {
+		l.stats.CompressedAppends++
+	}
 	l.stats.AppendedOps += len(ops)
 	l.stats.AppendedBytes += int64(len(header) + len(payload))
 	l.stats.LastSeq = seq
@@ -297,10 +317,34 @@ func (l *Log) writeAll(kind string, b []byte) error {
 	return err
 }
 
+// snapshotWriter streams snapshot bytes to the temporary file while folding
+// them into the running CRC and reporting each physical write to the
+// observer. The trailer (the CRC itself) is written with trailing set, so it
+// stays outside its own checksum.
+type snapshotWriter struct {
+	f        *os.File
+	obs      func(kind string, bytes int)
+	sum      uint32
+	trailing bool
+}
+
+func (w *snapshotWriter) Write(p []byte) (int, error) {
+	if w.obs != nil {
+		w.obs("snapshot", len(p))
+	}
+	if !w.trailing {
+		w.sum = crc32.Update(w.sum, crcTable, p)
+	}
+	return w.f.Write(p)
+}
+
 // Snapshot writes a binary snapshot of the engine's ingested state — every
 // non-derived relation (EDB plus open relations); IDB relations are a pure
 // function of those and re-derive on recovery — covering all log records up
-// to the current sequence. The snapshot is written to a temporary file and
+// to the current sequence. The body streams through the database backend's
+// export hook, so a disk-backed project snapshots without materializing its
+// paged-out relations in memory (the backend copies their segment bytes
+// straight into the stream). The snapshot is written to a temporary file and
 // renamed into place, so an interrupted snapshot never replaces a valid one.
 // It returns the sequence the snapshot covers.
 func (l *Log) Snapshot(e *cylog.Engine) (uint64, error) {
@@ -313,17 +357,6 @@ func (l *Log) Snapshot(e *cylog.Engine) (uint64, error) {
 		}
 	}
 	seq := l.lastSeq
-	var buf []byte
-	buf = append(buf, snapMagic...)
-	buf = binary.AppendUvarint(buf, seq)
-	var body bytes.Buffer
-	if err := relstore.ExportDatabaseBinary(e.Database(), names, &body); err != nil {
-		return 0, err
-	}
-	buf = append(buf, body.Bytes()...)
-	var trailer [4]byte
-	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(buf, crcTable))
-	buf = append(buf, trailer[:]...)
 
 	final := filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix))
 	tmp := final + ".tmp"
@@ -331,13 +364,26 @@ func (l *Log) Snapshot(e *cylog.Engine) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if l.opts.WriteObserver != nil {
-		l.opts.WriteObserver("snapshot", len(buf))
-	}
-	if _, err := tf.Write(buf); err != nil {
+	fail := func(err error) (uint64, error) {
 		tf.Close()
 		os.Remove(tmp)
 		return 0, err
+	}
+	w := &snapshotWriter{f: tf, obs: l.opts.WriteObserver}
+	var hdr []byte
+	hdr = append(hdr, snapMagic...)
+	hdr = binary.AppendUvarint(hdr, seq)
+	if _, err := w.Write(hdr); err != nil {
+		return fail(err)
+	}
+	if err := e.Database().ExportSnapshot(names, w); err != nil {
+		return fail(err)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], w.sum)
+	w.trailing = true
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fail(err)
 	}
 	if l.opts.Policy != SyncOff {
 		if err := tf.Sync(); err != nil {
@@ -527,8 +573,61 @@ func (l *Log) snapshotSeqs() ([]uint64, error) {
 	return out, nil
 }
 
-// parseRecord decodes a record payload into its sequence and operations.
+// compressRecord wraps a raw record payload in a flate frame:
+// [recBatchFlate][uvarint rawLen][deflate bytes]. It reports false when the
+// frame would not be smaller than the raw payload, in which case the caller
+// writes the raw record.
+func compressRecord(raw []byte) ([]byte, bool) {
+	out := []byte{recBatchFlate}
+	out = binary.AppendUvarint(out, uint64(len(raw)))
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return nil, false
+	}
+	if err := zw.Close(); err != nil {
+		return nil, false
+	}
+	out = append(out, buf.Bytes()...)
+	if len(out) >= len(raw) {
+		return nil, false
+	}
+	return out, true
+}
+
+// inflateRecord decodes a flate frame back to the raw record payload. The
+// declared length bounds the decompression (a corrupt or adversarial frame
+// cannot balloon past maxRecordSize) and must match exactly.
+func inflateRecord(data []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(data)
+	if n <= 0 || rawLen > maxRecordSize {
+		return nil, fmt.Errorf("wal: bad compressed record length")
+	}
+	zr := flate.NewReader(bytes.NewReader(data[n:]))
+	defer zr.Close()
+	raw, err := io.ReadAll(io.LimitReader(zr, int64(rawLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("wal: inflating record: %w", err)
+	}
+	if uint64(len(raw)) != rawLen {
+		return nil, fmt.Errorf("wal: compressed record decodes to %d bytes, frame declares %d", len(raw), rawLen)
+	}
+	return raw, nil
+}
+
+// parseRecord decodes a record payload into its sequence and operations,
+// transparently inflating compressed frames.
 func parseRecord(payload []byte) (uint64, []cylog.FactOp, error) {
+	if len(payload) > 0 && payload[0] == recBatchFlate {
+		raw, err := inflateRecord(payload[1:])
+		if err != nil {
+			return 0, nil, err
+		}
+		payload = raw
+	}
 	if len(payload) == 0 || payload[0] != recBatch {
 		return 0, nil, fmt.Errorf("wal: unknown record type")
 	}
